@@ -1,0 +1,95 @@
+//! Spec combinators: reversal and composition.
+//!
+//! * [`reverse_allgather`] turns an AllGather into a ReduceScatter by
+//!   reversing every transfer (a broadcast tree, run backwards with
+//!   `recvReduceCopy`, is a reduction tree) — the "general assembly
+//!   technique" the paper used to build a TECCL-AllReduce.
+//! * [`compose_allreduce`] concatenates a ReduceScatter phase and an
+//!   AllGather phase with a step offset, the standard AllReduce assembly.
+
+use rescc_lang::{AlgoBuilder, AlgoSpec, CommType, OpType};
+
+/// Reverse an AllGather into a ReduceScatter.
+///
+/// Every transfer `(src → dst, step s, chunk c, recv)` becomes
+/// `(dst → src, step S_max − s, chunk c, rrc)`: data flows back along the
+/// same edges in opposite order, accumulating partial reductions toward
+/// each chunk's owner.
+pub fn reverse_allgather(ag: &AlgoSpec) -> AlgoSpec {
+    assert_eq!(
+        ag.op(),
+        OpType::AllGather,
+        "reversal is defined for AllGather algorithms"
+    );
+    let max_step = ag.max_step().0;
+    let mut b = AlgoBuilder::new(
+        format!("{}-reversed-rs", ag.name()),
+        OpType::ReduceScatter,
+        ag.n_ranks(),
+    );
+    for t in ag.transfers() {
+        b.transfer(
+            t.dst.0,
+            t.src.0,
+            max_step - t.step.0,
+            t.chunk.0,
+            CommType::Rrc,
+        );
+    }
+    b.build().expect("reversal preserves well-formedness")
+}
+
+/// Compose a ReduceScatter and an AllGather into an AllReduce.
+///
+/// The AllGather's steps are shifted past the ReduceScatter's so that, per
+/// chunk, gathering starts only after the owner's reduction completed (data
+/// dependencies on the owner's buffer slot enforce the ordering).
+pub fn compose_allreduce(name: impl Into<String>, rs: &AlgoSpec, ag: &AlgoSpec) -> AlgoSpec {
+    assert_eq!(rs.op(), OpType::ReduceScatter);
+    assert_eq!(ag.op(), OpType::AllGather);
+    assert_eq!(rs.n_ranks(), ag.n_ranks(), "phase rank counts must match");
+    let offset = rs.max_step().0 + 1;
+    let mut b = AlgoBuilder::new(name, OpType::AllReduce, rs.n_ranks());
+    for t in rs.transfers() {
+        b.transfer(t.src.0, t.dst.0, t.step.0, t.chunk.0, t.comm);
+    }
+    for t in ag.transfers() {
+        b.transfer(t.src.0, t.dst.0, t.step.0 + offset, t.chunk.0, t.comm);
+    }
+    b.build().expect("composition preserves well-formedness")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ring_allgather, ring_reduce_scatter};
+    use crate::testutil::run_and_validate;
+    use rescc_topology::Topology;
+
+    #[test]
+    fn reversed_ring_allgather_is_correct_reduce_scatter() {
+        let rs = reverse_allgather(&ring_allgather(8));
+        assert_eq!(rs.op(), OpType::ReduceScatter);
+        run_and_validate(&rs, &Topology::a100(1, 8));
+        run_and_validate(&rs, &Topology::a100(2, 4));
+    }
+
+    #[test]
+    fn composition_of_reversed_ag_is_correct_allreduce() {
+        let ag = ring_allgather(8);
+        let ar = compose_allreduce("assembled-ar", &reverse_allgather(&ag), &ag);
+        run_and_validate(&ar, &Topology::a100(2, 4));
+    }
+
+    #[test]
+    fn composition_with_native_rs_is_correct() {
+        let ar = compose_allreduce("rs+ag", &ring_reduce_scatter(4), &ring_allgather(4));
+        run_and_validate(&ar, &Topology::a100(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for AllGather")]
+    fn reversing_non_allgather_panics() {
+        reverse_allgather(&ring_reduce_scatter(4));
+    }
+}

@@ -1,0 +1,176 @@
+//! The hierarchical mesh (HM) expert algorithms of Appendix A, generalized
+//! to any `nodes × gpus_per_node` cluster.
+//!
+//! * **HM-AllGather** — two stages: (1) every GPU broadcasts its own chunk
+//!   to all local peers (full mesh) and starts it around the inter-node
+//!   ring of ring-aligned peers; (2) every GPU rebroadcasts the chunks it
+//!   received from remote ring peers to its local peers.
+//! * **HM-AllReduce** — four stages (the Fig. 16 program):
+//!   intra-ReduceScatter (full mesh), inter-ReduceScatter (ring over
+//!   ring-aligned GPUs), inter-AllGather (same ring), intra-AllGather
+//!   (full mesh).
+//! * **HM-ReduceScatter** — the reversal of HM-AllGather.
+
+use crate::compose::reverse_allgather;
+use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
+
+/// HM-AllGather for a `nodes × g` cluster.
+pub fn hm_allgather(nodes: u32, g: u32) -> AlgoSpec {
+    assert!(nodes >= 1 && g >= 1 && nodes * g >= 2);
+    let n = nodes * g;
+    let mut b = AlgoBuilder::new(format!("hm-ag-{nodes}x{g}"), OpType::AllGather, n);
+    for node in 0..nodes {
+        for r in 0..g {
+            let src = node * g + r;
+            let own = src; // each GPU owns the chunk with its rank id
+            // Broadcast 1a: full-mesh intra broadcast of the own chunk.
+            for offset in 0..g - 1 {
+                let dst = (r + offset + 1) % g + node * g;
+                b.recv(src, dst, offset, own);
+            }
+            // Broadcast 1b: the own chunk travels the inter-node ring of
+            // ring-aligned peers; hop h moves it from node+h to node+h+1.
+            for hop in 0..nodes.saturating_sub(1) {
+                let from = (src + hop * g) % n;
+                let to = (src + (hop + 1) * g) % n;
+                b.recv(from, to, hop, own);
+            }
+            // Broadcast 2: after the chunk owned by (j, r) arrives at
+            // (node', r) at ring hop h (step h), rank (node', r)
+            // rebroadcasts it to all local peers.
+            for hop in 0..nodes.saturating_sub(1) {
+                let holder = (src + (hop + 1) * g) % n;
+                let holder_node = holder / g;
+                let holder_local = holder % g;
+                for offset in 0..g - 1 {
+                    let dst = (holder_local + offset + 1) % g + holder_node * g;
+                    // Any step strictly after the arrival step `hop`.
+                    b.recv(holder, dst, nodes + hop, own);
+                }
+            }
+        }
+    }
+    b.build().expect("hm allgather is well-formed")
+}
+
+/// HM-ReduceScatter: the reversal of [`hm_allgather`].
+pub fn hm_reduce_scatter(nodes: u32, g: u32) -> AlgoSpec {
+    reverse_allgather(&hm_allgather(nodes, g)).with_name(format!("hm-rs-{nodes}x{g}"))
+}
+
+/// HM-AllReduce for a `nodes × g` cluster — the Fig. 16 program,
+/// parameterized.
+pub fn hm_allreduce(nodes: u32, g: u32) -> AlgoSpec {
+    assert!(
+        nodes * g >= 2,
+        "HM-AllReduce needs at least two GPUs in total"
+    );
+    let n = nodes * g;
+    let mut b = AlgoBuilder::new(format!("hm-ar-{nodes}x{g}"), OpType::AllReduce, n);
+    // Phase 1 — intra-node ReduceScatter over the full mesh
+    // (Fig. 16 lines 5–12).
+    for node in 0..nodes {
+        for r in 0..g {
+            for base in 0..nodes {
+                for offset in 0..g - 1 {
+                    let src = g * node + r;
+                    let dst = (r + offset + 1) % g + g * node;
+                    let step = base * (g - 1) + offset;
+                    let chunk = (dst + base * g) % n;
+                    b.rrc(src, dst, step, chunk);
+                }
+            }
+        }
+    }
+    // Phase 2 — inter-node ReduceScatter over the ring of ring-aligned
+    // peers (lines 13–19).
+    for node in 0..nodes {
+        for r in 0..g {
+            for base in 0..nodes.saturating_sub(1) {
+                let src = g * node + r;
+                let dst = (src + g) % n;
+                let step = nodes * (g - 1) + base;
+                let chunk = (src + n - base * g) % n;
+                b.rrc(src, dst, step, chunk);
+            }
+        }
+    }
+    // Phase 3 — inter-node AllGather over the same ring (lines 20–27).
+    for node in 0..nodes {
+        for r in 0..g {
+            for base in 0..nodes.saturating_sub(1) {
+                let src = g * node + r;
+                let dst = (src + g) % n;
+                let step = nodes * (g - 1) + nodes - 1 + base;
+                let chunk = (src + n - ((base + nodes - 1) % nodes) * g) % n;
+                b.recv(src, dst, step, chunk);
+            }
+        }
+    }
+    // Phase 4 — intra-node AllGather over the full mesh (lines 28–35).
+    for node in 0..nodes {
+        for r in 0..g {
+            for base in 0..nodes {
+                for offset in 0..g - 1 {
+                    let src = g * node + r;
+                    let dst = (r + offset + 1) % g + g * node;
+                    let step = nodes * (g - 1) + 2 * nodes - 2 + base;
+                    let chunk = (src + base * g) % n;
+                    b.recv(src, dst, step, chunk);
+                }
+            }
+        }
+    }
+    b.build().expect("hm allreduce is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_validate;
+    use rescc_topology::Topology;
+
+    #[test]
+    fn hm_allgather_correct_across_shapes() {
+        for (nodes, g) in [(2u32, 2u32), (2, 4), (4, 2), (2, 8), (4, 4)] {
+            run_and_validate(&hm_allgather(nodes, g), &Topology::a100(nodes, g));
+        }
+    }
+
+    #[test]
+    fn hm_allgather_single_node_degenerates_to_mesh() {
+        let s = hm_allgather(1, 8);
+        // Pure full mesh: 8 ranks × 7 peers.
+        assert_eq!(s.transfers().len(), 8 * 7);
+        run_and_validate(&s, &Topology::a100(1, 8));
+    }
+
+    #[test]
+    fn hm_reduce_scatter_correct() {
+        for (nodes, g) in [(2u32, 4u32), (4, 4)] {
+            run_and_validate(&hm_reduce_scatter(nodes, g), &Topology::a100(nodes, g));
+        }
+    }
+
+    #[test]
+    fn hm_allreduce_correct_across_shapes() {
+        for (nodes, g) in [(2u32, 2u32), (2, 4), (4, 2), (4, 4)] {
+            run_and_validate(&hm_allreduce(nodes, g), &Topology::a100(nodes, g));
+        }
+    }
+
+    #[test]
+    fn hm_allreduce_degenerate_shapes() {
+        // g = 1: pure inter-node ring phases; nodes = 1: pure intra mesh.
+        run_and_validate(&hm_allreduce(4, 1), &Topology::a100(4, 1));
+        run_and_validate(&hm_allreduce(1, 8), &Topology::a100(1, 8));
+    }
+
+    #[test]
+    fn hm_allreduce_paper_configuration() {
+        // The Fig. 16 shape: 4 nodes × 8 GPUs = 32 ranks.
+        let s = hm_allreduce(4, 8);
+        assert_eq!(s.n_ranks(), 32);
+        run_and_validate(&s, &Topology::a100(4, 8));
+    }
+}

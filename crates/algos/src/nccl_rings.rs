@@ -1,0 +1,111 @@
+//! NCCL's standard multi-ring collectives.
+//!
+//! Real NCCL builds one logical ring per channel group and lays the rings
+//! out so their inter-node crossings land on *different* NICs; chunks are
+//! partitioned across rings. This is the vendor-standard algorithm the
+//! paper's NCCL baseline executes (NCCL cannot run custom algorithms), so
+//! the comparison figures pit custom-algorithm backends against these
+//! rings.
+//!
+//! Ring `r` visits each node's GPUs starting from local index `2r mod g`
+//! (two GPUs share a NIC, so consecutive rings enter through consecutive
+//! NICs), walks them in order, then crosses to the next node.
+
+use crate::compose::{compose_allreduce, reverse_allgather};
+use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
+
+/// The rank order of ring `r` on a `nodes × g` cluster.
+fn ring_order(nodes: u32, g: u32, r: u32) -> Vec<u32> {
+    let mut order = Vec::with_capacity((nodes * g) as usize);
+    for node in 0..nodes {
+        for i in 0..g {
+            let local = (2 * r + i) % g;
+            order.push(node * g + local);
+        }
+    }
+    order
+}
+
+/// NCCL-style multi-ring AllGather: `n_rings` rings, chunk `c` travels
+/// ring `c % n_rings`.
+pub fn nccl_rings_allgather(nodes: u32, g: u32, n_rings: u32) -> AlgoSpec {
+    assert!(n_rings >= 1);
+    let n = nodes * g;
+    assert!(n >= 2);
+    let mut b = AlgoBuilder::new(
+        format!("nccl-rings{n_rings}-ag-{nodes}x{g}"),
+        OpType::AllGather,
+        n,
+    );
+    let orders: Vec<Vec<u32>> = (0..n_rings).map(|r| ring_order(nodes, g, r)).collect();
+    for c in 0..n {
+        let order = &orders[(c % n_rings) as usize];
+        let pos = order.iter().position(|&x| x == c).expect("rank in ring") as u32;
+        for s in 0..n - 1 {
+            let src = order[((pos + s) % n) as usize];
+            let dst = order[((pos + s + 1) % n) as usize];
+            b.recv(src, dst, s, c);
+        }
+    }
+    b.build().expect("nccl multi-ring allgather is well-formed")
+}
+
+/// NCCL-style multi-ring ReduceScatter (reversal of the AllGather).
+pub fn nccl_rings_reduce_scatter(nodes: u32, g: u32, n_rings: u32) -> AlgoSpec {
+    reverse_allgather(&nccl_rings_allgather(nodes, g, n_rings))
+        .with_name(format!("nccl-rings{n_rings}-rs-{nodes}x{g}"))
+}
+
+/// NCCL-style multi-ring AllReduce (ReduceScatter + AllGather).
+pub fn nccl_rings_allreduce(nodes: u32, g: u32, n_rings: u32) -> AlgoSpec {
+    let ag = nccl_rings_allgather(nodes, g, n_rings);
+    compose_allreduce(
+        format!("nccl-rings{n_rings}-ar-{nodes}x{g}"),
+        &reverse_allgather(&ag),
+        &ag,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_validate;
+    use rescc_topology::{PathKind, Topology};
+    use std::collections::HashSet;
+
+    #[test]
+    fn multi_ring_allgather_correct() {
+        run_and_validate(&nccl_rings_allgather(2, 8, 4), &Topology::a100(2, 8));
+        run_and_validate(&nccl_rings_allgather(2, 4, 2), &Topology::a100(2, 4));
+        run_and_validate(&nccl_rings_allgather(1, 8, 4), &Topology::a100(1, 8));
+    }
+
+    #[test]
+    fn multi_ring_allreduce_correct() {
+        run_and_validate(&nccl_rings_allreduce(2, 4, 2), &Topology::a100(2, 4));
+        run_and_validate(&nccl_rings_allreduce(2, 8, 4), &Topology::a100(2, 8));
+    }
+
+    #[test]
+    fn rings_spread_over_all_nics() {
+        // The defining property vs a flat single ring: the 4 rings' inter-
+        // node hops enter through all 4 NICs of each node.
+        let topo = Topology::a100(2, 8);
+        let spec = nccl_rings_allgather(2, 8, 4);
+        let mut rx_nics = HashSet::new();
+        for t in spec.transfers() {
+            let conn = topo.connection(t.src, t.dst);
+            if matches!(conn.kind, PathKind::Inter { .. }) {
+                rx_nics.insert(topo.nic_of(t.dst));
+            }
+        }
+        assert_eq!(rx_nics.len(), 8, "expected all 8 NICs receiving: {rx_nics:?}");
+    }
+
+    #[test]
+    fn single_ring_degenerates_to_plain_ring() {
+        let multi = nccl_rings_allgather(1, 8, 1);
+        let plain = crate::ring::ring_allgather(8);
+        assert_eq!(multi.transfers().len(), plain.transfers().len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Recursive (butterfly) collectives for power-of-two rank counts —
+//! the classic latency-optimal family (log₂ N steps):
+//!
+//! * **Recursive doubling AllGather** — at step `s`, rank `r` exchanges
+//!   everything it has gathered so far with partner `r ^ 2^s`.
+//! * **Recursive halving-doubling AllReduce** — a halving ReduceScatter
+//!   (partners exchange and reduce complementary halves) followed by a
+//!   doubling AllGather over the reduced chunks.
+//!
+//! These fill out the standard-algorithm portfolio next to rings and the
+//! double binary tree, and make good scheduler stress tests: their
+//! butterfly exchange pattern uses every pair channel of a node in a few
+//! dense bursts.
+
+use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
+
+fn assert_pow2(n: u32) {
+    assert!(n >= 2 && n.is_power_of_two(), "recursive collectives need power-of-two ranks, got {n}");
+}
+
+/// Recursive-doubling AllGather over `n` (power of two) ranks.
+pub fn recursive_doubling_allgather(n: u32) -> AlgoSpec {
+    assert_pow2(n);
+    let mut b = AlgoBuilder::new(format!("recdbl-ag-{n}"), OpType::AllGather, n);
+    let steps = n.ilog2();
+    for s in 0..steps {
+        let dist = 1u32 << s;
+        for r in 0..n {
+            let partner = r ^ dist;
+            // After step s, rank r holds exactly the chunks whose owner
+            // lies in r's 2^s-aligned group; it sends that whole group.
+            let base = r & !((1 << s) - 1);
+            for o in base..base + (1 << s) {
+                b.recv(r, partner, s, o);
+            }
+        }
+    }
+    b.build().expect("recursive doubling allgather is well-formed")
+}
+
+/// Recursive halving ReduceScatter over `n` (power of two) ranks.
+///
+/// At step `s` (starting with the largest distance), rank `r` sends its
+/// partner the half of the chunk range the *partner* will own, reducing on
+/// receipt; after log₂ N steps rank `r` holds chunk `r` fully reduced.
+pub fn recursive_halving_reduce_scatter(n: u32) -> AlgoSpec {
+    assert_pow2(n);
+    let mut b = AlgoBuilder::new(format!("rechlv-rs-{n}"), OpType::ReduceScatter, n);
+    let steps = n.ilog2();
+    for s in 0..steps {
+        let dist = n >> (s + 1); // n/2, n/4, ..., 1
+        for r in 0..n {
+            let partner = r ^ dist;
+            // The chunk range r is still responsible for has size 2*dist
+            // and is aligned at (r & !(2*dist - 1)); the partner keeps the
+            // half containing `partner`.
+            let range_base = r & !(2 * dist - 1);
+            let partner_half_base = if partner & dist == 0 {
+                range_base
+            } else {
+                range_base + dist
+            };
+            for c in partner_half_base..partner_half_base + dist {
+                b.rrc(r, partner, s, c);
+            }
+        }
+    }
+    b.build().expect("recursive halving reduce-scatter is well-formed")
+}
+
+/// Recursive halving-doubling AllReduce: the halving ReduceScatter
+/// followed by a doubling AllGather, step-shifted.
+pub fn recursive_halving_doubling_allreduce(n: u32) -> AlgoSpec {
+    assert_pow2(n);
+    let rs = recursive_halving_reduce_scatter(n);
+    let ag = recursive_doubling_allgather(n);
+    crate::compose::compose_allreduce(format!("rechd-ar-{n}"), &rs, &ag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_validate;
+    use rescc_topology::Topology;
+
+    #[test]
+    fn recursive_doubling_allgather_correct() {
+        for n in [2u32, 4, 8, 16] {
+            let nodes = if n > 8 { 2 } else { 1 };
+            run_and_validate(
+                &recursive_doubling_allgather(n),
+                &Topology::a100(nodes, n / nodes),
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_halving_reduce_scatter_correct() {
+        for n in [2u32, 4, 8, 16] {
+            let nodes = if n > 8 { 2 } else { 1 };
+            run_and_validate(
+                &recursive_halving_reduce_scatter(n),
+                &Topology::a100(nodes, n / nodes),
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_halving_doubling_allreduce_correct() {
+        run_and_validate(&recursive_halving_doubling_allreduce(8), &Topology::a100(1, 8));
+        run_and_validate(&recursive_halving_doubling_allreduce(16), &Topology::a100(2, 8));
+    }
+
+    #[test]
+    fn log_depth() {
+        let s = recursive_doubling_allgather(16);
+        assert_eq!(s.max_step().0, 3); // log2(16) - 1
+        let rs = recursive_halving_reduce_scatter(16);
+        assert_eq!(rs.max_step().0, 3);
+    }
+
+    #[test]
+    fn transfer_counts() {
+        // Recursive doubling AG moves n-1 chunks per rank in total.
+        let n = 8u32;
+        let s = recursive_doubling_allgather(n);
+        assert_eq!(s.transfers().len() as u32, n * (n - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        recursive_doubling_allgather(6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Ring collectives — the standard NCCL algorithms.
+//!
+//! * AllGather: each rank forwards chunks around the ring; after `n−1`
+//!   steps everyone holds everything.
+//! * ReduceScatter: chunk `c` starts at rank `c+1` and accumulates around
+//!   the ring, ending fully reduced at its owner `c`.
+//! * AllReduce: ReduceScatter followed by AllGather (the classic
+//!   bandwidth-optimal composition).
+
+use crate::compose::compose_allreduce;
+use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
+
+/// Ring AllGather over `n` ranks.
+pub fn ring_allgather(n: u32) -> AlgoSpec {
+    assert!(n >= 2);
+    let mut b = AlgoBuilder::new(format!("ring-ag-{n}"), OpType::AllGather, n);
+    for r in 0..n {
+        let peer = (r + 1) % n;
+        for step in 0..n - 1 {
+            // At step s, rank r forwards chunk (r - s) mod n.
+            b.recv(r, peer, step, (r + n - step) % n);
+        }
+    }
+    b.build().expect("ring allgather is well-formed")
+}
+
+/// Ring ReduceScatter over `n` ranks.
+pub fn ring_reduce_scatter(n: u32) -> AlgoSpec {
+    assert!(n >= 2);
+    let mut b = AlgoBuilder::new(format!("ring-rs-{n}"), OpType::ReduceScatter, n);
+    for r in 0..n {
+        let peer = (r + 1) % n;
+        for step in 0..n - 1 {
+            // At step s, rank r forwards the accumulating chunk
+            // (r - s - 1) mod n toward its owner.
+            b.rrc(r, peer, step, (r + n - step - 1) % n);
+        }
+    }
+    b.build().expect("ring reduce-scatter is well-formed")
+}
+
+/// Ring AllReduce: ReduceScatter then AllGather.
+pub fn ring_allreduce(n: u32) -> AlgoSpec {
+    compose_allreduce(
+        format!("ring-ar-{n}"),
+        &ring_reduce_scatter(n),
+        &ring_allgather(n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_validate;
+    use rescc_topology::Topology;
+
+    #[test]
+    fn ring_allgather_shape() {
+        let s = ring_allgather(8);
+        assert_eq!(s.transfers().len(), 8 * 7);
+        assert_eq!(s.connections().len(), 8);
+    }
+
+    #[test]
+    fn ring_allgather_correct_on_sim() {
+        run_and_validate(&ring_allgather(8), &Topology::a100(1, 8));
+        run_and_validate(&ring_allgather(8), &Topology::a100(2, 4));
+    }
+
+    #[test]
+    fn ring_reduce_scatter_correct_on_sim() {
+        run_and_validate(&ring_reduce_scatter(8), &Topology::a100(1, 8));
+        run_and_validate(&ring_reduce_scatter(8), &Topology::a100(2, 4));
+    }
+
+    #[test]
+    fn ring_allreduce_correct_on_sim() {
+        run_and_validate(&ring_allreduce(4), &Topology::a100(1, 4));
+        run_and_validate(&ring_allreduce(8), &Topology::a100(2, 4));
+    }
+}

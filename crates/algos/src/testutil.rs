@@ -1,0 +1,47 @@
+//! Test helper: compile an algorithm through the full ResCCL pipeline and
+//! run it on the simulator with data validation enabled.
+
+#![cfg(test)]
+
+use rescc_alloc::TbAllocation;
+use rescc_ir::{DepDag, MicroBatchPlan};
+use rescc_kernel::{ExecMode, KernelProgram, LoopOrder};
+use rescc_lang::AlgoSpec;
+use rescc_sched::hpds;
+use rescc_sim::{simulate, SimConfig, SimReport};
+use rescc_topology::Topology;
+
+/// Compile `spec` with the full ResCCL pipeline (HPDS + state-based TBs +
+/// task-level kernel) and simulate a small buffer with data validation;
+/// panics on any scheduling or correctness failure. Returns the report so
+/// callers can assert on timing/utilization too.
+pub fn run_and_validate(spec: &AlgoSpec, topo: &Topology) -> SimReport {
+    let dag = DepDag::build(spec, topo).unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    let sched = hpds(&dag);
+    sched
+        .validate(&dag)
+        .unwrap_or_else(|e| panic!("{} schedule invalid: {e}", spec.name()));
+    let alloc = TbAllocation::state_based(&dag, &sched);
+    alloc
+        .validate(&dag, &sched)
+        .unwrap_or_else(|e| panic!("{} allocation invalid: {e}", spec.name()));
+    let prog = KernelProgram::generate(
+        spec.name(),
+        &dag,
+        &alloc,
+        LoopOrder::SlotMajor,
+        ExecMode::DirectKernel,
+    );
+    prog.validate(&dag)
+        .unwrap_or_else(|e| panic!("{} kernel invalid: {e}", spec.name()));
+    // A couple of micro-batches keeps pipelining in play while staying fast.
+    let plan = MicroBatchPlan::plan(
+        3 * spec.n_chunks() as u64 * (1 << 20),
+        spec.n_chunks(),
+        1 << 20,
+    );
+    let report = simulate(topo, &dag, &prog, &plan, spec.op(), &SimConfig::default())
+        .unwrap_or_else(|e| panic!("{} simulation failed: {e}", spec.name()));
+    assert_eq!(report.data_valid, Some(true), "{} corrupted data", spec.name());
+    report
+}

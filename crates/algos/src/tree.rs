@@ -1,0 +1,88 @@
+//! Double-binary-tree AllReduce — NCCL's latency-optimized standard
+//! algorithm (the "tree" in §2.1's standard-algorithm family).
+//!
+//! Each chunk is reduced up a binary tree to that tree's root and broadcast
+//! back down. Two complementary trees (rank-rotated copies of the same
+//! heap shape) each own half of the chunks, so every rank does useful work
+//! in both directions — the classic double-binary-tree construction.
+
+use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
+
+/// Heap-shaped binary tree over `n` ranks, rotated by `shift`:
+/// heap index `i` maps to rank `(i + shift) % n`; children of `i` are
+/// `2i+1` and `2i+2`.
+fn parent_rank(i: u32, shift: u32, n: u32) -> Option<u32> {
+    if i == 0 {
+        None
+    } else {
+        Some(((i - 1) / 2 + shift) % n)
+    }
+}
+
+fn depth(i: u32) -> u32 {
+    (i + 1).ilog2()
+}
+
+/// Double-binary-tree AllReduce over `n` ranks. Chunk `c` is handled by
+/// tree `c % 2`.
+pub fn dbtree_allreduce(n: u32) -> AlgoSpec {
+    assert!(n >= 2);
+    let mut b = AlgoBuilder::new(format!("dbtree-ar-{n}"), OpType::AllReduce, n);
+    let max_depth = depth(n - 1);
+    for c in 0..n {
+        let shift = c % 2;
+        for i in 1..n {
+            let child = (i + shift) % n;
+            let parent = parent_rank(i, shift, n).expect("non-root has a parent");
+            // Reduce up: deeper edges first.
+            let reduce_step = max_depth - depth(i);
+            b.rrc(child, parent, reduce_step, c);
+            // Broadcast down: shallower edges first, strictly after the
+            // whole reduction finished at the root.
+            let bcast_step = 2 * max_depth + 1 + depth(i);
+            b.recv(parent, child, bcast_step, c);
+        }
+    }
+    b.build().expect("double binary tree allreduce is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_validate;
+    use rescc_topology::Topology;
+
+    #[test]
+    fn dbtree_correct_various_sizes() {
+        for n in [2u32, 4, 8] {
+            run_and_validate(&dbtree_allreduce(n), &Topology::a100(1, n));
+        }
+        run_and_validate(&dbtree_allreduce(8), &Topology::a100(2, 4));
+        run_and_validate(&dbtree_allreduce(16), &Topology::a100(2, 8));
+    }
+
+    #[test]
+    fn dbtree_uses_two_trees() {
+        let s = dbtree_allreduce(8);
+        // Chunk 0 reduces to rank 0 (shift 0); chunk 1 to rank 1 (shift 1).
+        let roots: Vec<u32> = (0..2)
+            .map(|c| {
+                // The root is the rank that never sends a reduce for chunk c.
+                let senders: std::collections::HashSet<u32> = s
+                    .transfers()
+                    .iter()
+                    .filter(|t| t.chunk.0 == c && t.comm == rescc_lang::CommType::Rrc)
+                    .map(|t| t.src.0)
+                    .collect();
+                (0..8).find(|r| !senders.contains(r)).unwrap()
+            })
+            .collect();
+        assert_ne!(roots[0], roots[1], "the two trees must have distinct roots");
+    }
+
+    #[test]
+    fn dbtree_depth_is_logarithmic() {
+        let s = dbtree_allreduce(8);
+        assert!(s.max_step().0 <= 2 * 3 + 1 + 3);
+    }
+}

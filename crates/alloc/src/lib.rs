@@ -1,0 +1,609 @@
+//! # rescc-alloc
+//!
+//! Thread-block (TB) allocation (§4.4).
+//!
+//! Every transmission task decomposes into a **sender** primitive on its
+//! source rank and a **receiver** primitive on its destination rank; a TB
+//! executes an ordered sequence of such primitives, each looping over all
+//! micro-batches.
+//!
+//! Two strategies are provided:
+//!
+//! * [`TbAllocation::connection_based`] — the rigid NCCL/MSCCL scheme: one
+//!   TB per (rank, peer, direction) connection endpoint, times the number
+//!   of channels. Extra channels buy parallelism at the cost of mostly-idle
+//!   TBs (the 98.2% idle observation of Fig. 2).
+//! * [`TbAllocation::state_based`] — ResCCL's scheme: analyze each
+//!   connection endpoint's active interval on the scheduled pipeline's
+//!   timeline and merge endpoints that are never active simultaneously onto
+//!   one TB (Eq. 7). Greedy interval partitioning is optimal on interval
+//!   graphs, so the TB count is minimal for the given timeline.
+
+#![warn(missing_docs)]
+
+use rescc_ir::{DepDag, IrError, TaskId};
+use rescc_sched::Schedule;
+use rescc_topology::Rank;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which side of a transfer a primitive implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// The sender primitive, running on the task's source rank.
+    Send,
+    /// The receiver primitive (`recv` / `recvReduceCopy`), running on the
+    /// task's destination rank.
+    Recv,
+}
+
+/// One primitive slot inside a TB's program: a task side plus the
+/// sub-pipeline index that orders it on the global timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimSlot {
+    /// The transmission task.
+    pub task: TaskId,
+    /// Sender or receiver side.
+    pub dir: Direction,
+    /// Index of the sub-pipeline the task was scheduled into.
+    pub sub_pipeline: usize,
+}
+
+/// The program of one TB: its ordered slots and the micro-batch slice it
+/// owns. A channel TB with `mb_stride = k, mb_offset = c` executes only the
+/// invocations of micro-batches `mb ≡ c (mod k)` — this is how NCCL-style
+/// channels split a connection's data across parallel TBs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TbPlan {
+    /// Ordered primitive slots.
+    pub slots: Vec<PrimSlot>,
+    /// Micro-batch stride (1 = all micro-batches).
+    pub mb_stride: u32,
+    /// Micro-batch offset within the stride.
+    pub mb_offset: u32,
+}
+
+impl TbPlan {
+    /// A TB that owns every micro-batch of its slots.
+    pub fn full(slots: Vec<PrimSlot>) -> Self {
+        Self {
+            slots,
+            mb_stride: 1,
+            mb_offset: 0,
+        }
+    }
+
+    /// Does this TB execute micro-batch `mb`?
+    pub fn owns_micro_batch(&self, mb: u32) -> bool {
+        mb % self.mb_stride == self.mb_offset
+    }
+}
+
+/// The TB plan of one rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankTbPlan {
+    /// The TBs launched on this rank.
+    pub tbs: Vec<TbPlan>,
+}
+
+/// A complete TB allocation across all ranks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TbAllocation {
+    /// Per-rank plans, indexed by rank.
+    pub per_rank: Vec<RankTbPlan>,
+    /// `"connection"` or `"state"`.
+    pub strategy: String,
+    /// Channels used (connection-based only; 1 for state-based).
+    pub n_channels: u32,
+}
+
+/// A connection endpoint as seen from one rank: the peer and direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Endpoint {
+    peer: Rank,
+    dir_is_send: bool,
+}
+
+impl TbAllocation {
+    /// The rigid connection-based allocation of NCCL/MSCCL: one TB per
+    /// connection endpoint per channel. Tasks of an endpoint are dealt
+    /// round-robin over its channel copies, which is exactly how MSCCL's
+    /// extra channels increase parallelism while leaving most channel TBs
+    /// idle most of the time.
+    pub fn connection_based(dag: &DepDag, schedule: &Schedule, n_channels: u32) -> Self {
+        assert!(n_channels >= 1, "need at least one channel");
+        let n_ranks = infer_n_ranks(dag);
+        let slots = collect_slots(dag, schedule);
+
+        let mut per_rank: Vec<RankTbPlan> = vec![RankTbPlan::default(); n_ranks];
+        for (rank, rank_slots) in slots.into_iter().enumerate() {
+            // Group by endpoint, preserving sub-pipeline order.
+            let mut groups: HashMap<Endpoint, Vec<PrimSlot>> = HashMap::new();
+            let mut order: Vec<Endpoint> = Vec::new();
+            for slot in rank_slots {
+                let t = dag.task(slot.task);
+                let ep = Endpoint {
+                    peer: if slot.dir == Direction::Send { t.dst } else { t.src },
+                    dir_is_send: slot.dir == Direction::Send,
+                };
+                if !groups.contains_key(&ep) {
+                    order.push(ep);
+                }
+                groups.entry(ep).or_default().push(slot);
+            }
+            // Deterministic endpoint order.
+            order.sort();
+            for ep in order {
+                let group = groups.remove(&ep).expect("endpoint collected above");
+                // One TB per channel; every channel TB carries the whole
+                // slot list but only its micro-batch slice.
+                for c in 0..n_channels {
+                    per_rank[rank].tbs.push(TbPlan {
+                        slots: group.clone(),
+                        mb_stride: n_channels,
+                        mb_offset: c,
+                    });
+                }
+            }
+        }
+        Self {
+            per_rank,
+            strategy: "connection".into(),
+            n_channels,
+        }
+    }
+
+    /// State-based allocation with *chain merging*: before the interval
+    /// merge, a send endpoint whose every task forwards data delivered by a
+    /// single receive endpoint of the same rank (a ring/chain transit) is
+    /// co-located with that receive endpoint. This is the allocation shape
+    /// real NCCL ring kernels use and what enables the
+    /// `recvCopySend`/`recvReduceSend` fusion pass (`rescc_kernel::fuse`)
+    /// to find adjacent pairs.
+    pub fn state_based_chained(dag: &DepDag, schedule: &Schedule) -> Self {
+        let mut alloc = Self::state_based_inner(dag, schedule, true);
+        alloc.strategy = "state-chained".into();
+        alloc
+    }
+
+    /// ResCCL's state-based allocation: endpoints whose active intervals on
+    /// the sub-pipeline timeline never overlap are merged onto one TB.
+    pub fn state_based(dag: &DepDag, schedule: &Schedule) -> Self {
+        Self::state_based_inner(dag, schedule, false)
+    }
+
+    fn state_based_inner(dag: &DepDag, schedule: &Schedule, chain_merge: bool) -> Self {
+        let n_ranks = infer_n_ranks(dag);
+        let slots = collect_slots(dag, schedule);
+        // Global schedule position of each task: within a sub-pipeline the
+        // scheduler's insertion order already respects data dependencies,
+        // so ordering TB slots by this position keeps every TB's program
+        // deadlock-free even when dependent tasks share a sub-pipeline.
+        //
+        // Chained mode refines the order *globally and consistently*: a
+        // chain transit (a send with exactly one feeding delivery) is keyed
+        // immediately after its feeder, so the fusion pass finds the pair
+        // adjacent on the merged TB — and because every TB sorts by the
+        // same adjusted total order, the deadlock-freedom argument is
+        // unchanged.
+        let base_pos: HashMap<TaskId, usize> = schedule
+            .linear_order()
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+        let key_of = |t: TaskId| -> (usize, u8, usize) {
+            if chain_merge {
+                let b = dag.task(t);
+                let feeders: Vec<TaskId> = dag
+                    .preds(t)
+                    .iter()
+                    .copied()
+                    .filter(|&a| {
+                        let ta = dag.task(a);
+                        ta.chunk == b.chunk && ta.dst == b.src
+                    })
+                    .collect();
+                // The adjusted key must dominate *every* predecessor's key
+                // (a forward can also carry e.g. a write-after-write edge at
+                // its destination); only when the feeder IS the latest
+                // predecessor may the forward sit right behind it.
+                if let [a] = feeders.as_slice() {
+                    let max_pred = dag
+                        .preds(t)
+                        .iter()
+                        .map(|p| base_pos[p])
+                        .max()
+                        .unwrap_or(0);
+                    if base_pos[a] == max_pred {
+                        return (max_pred, 1, base_pos[&t]);
+                    }
+                }
+            }
+            (base_pos[&t], 0, 0)
+        };
+        let pos = &key_of;
+
+        let mut per_rank: Vec<RankTbPlan> = vec![RankTbPlan::default(); n_ranks];
+        for (rank, rank_slots) in slots.into_iter().enumerate() {
+            // Active interval per endpoint: [min_sp, max_sp] of its slots.
+            let mut intervals: HashMap<Endpoint, (usize, usize, Vec<PrimSlot>)> = HashMap::new();
+            for slot in rank_slots {
+                let t = dag.task(slot.task);
+                let ep = Endpoint {
+                    peer: if slot.dir == Direction::Send { t.dst } else { t.src },
+                    dir_is_send: slot.dir == Direction::Send,
+                };
+                let e = intervals
+                    .entry(ep)
+                    .or_insert((slot.sub_pipeline, slot.sub_pipeline, Vec::new()));
+                e.0 = e.0.min(slot.sub_pipeline);
+                e.1 = e.1.max(slot.sub_pipeline);
+                e.2.push(slot);
+            }
+
+            // Chain merging: fold a send endpoint into the receive endpoint
+            // that feeds all of its tasks (same chunk, this rank in the
+            // middle of the chain).
+            if chain_merge {
+                let keys: Vec<Endpoint> = {
+                    let mut k: Vec<Endpoint> = intervals.keys().copied().collect();
+                    k.sort();
+                    k
+                };
+                for ep in keys {
+                    if !ep.dir_is_send {
+                        continue;
+                    }
+                    // The single feeding recv endpoint, if one exists.
+                    // Chain heads (a rank sending its own data, no feeder)
+                    // are allowed; a task fed by several deliveries is not
+                    // a chain transit and disqualifies the endpoint.
+                    let mut feeder: Option<Endpoint> = None;
+                    let mut ok = true;
+                    for slot in &intervals[&ep].2 {
+                        let b = dag.task(slot.task);
+                        let feeders: Vec<_> = dag
+                            .preds(slot.task)
+                            .iter()
+                            .copied()
+                            .filter(|&a| {
+                                let ta = dag.task(a);
+                                ta.chunk == b.chunk && ta.dst == b.src
+                            })
+                            .collect();
+                        match feeders.as_slice() {
+                            [] => {} // chain head
+                            [a] => {
+                                let fa = Endpoint {
+                                    peer: dag.task(*a).src,
+                                    dir_is_send: false,
+                                };
+                                if *feeder.get_or_insert(fa) != fa {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    if let Some(f) = feeder {
+                        if f != ep && intervals.contains_key(&f) {
+                            let (s, e, sl) = intervals.remove(&ep).expect("present");
+                            let fe = intervals.get_mut(&f).expect("checked");
+                            fe.0 = fe.0.min(s);
+                            fe.1 = fe.1.max(e);
+                            fe.2.extend(sl);
+                        }
+                    }
+                }
+            }
+            // Greedy interval partitioning: sort by start, place each
+            // endpoint on the first TB whose last interval ended before
+            // this one starts.
+            let mut items: Vec<(usize, usize, Endpoint)> = intervals
+                .iter()
+                .map(|(ep, (s, e, _))| (*s, *e, *ep))
+                .collect();
+            items.sort_by_key(|(s, e, ep)| (*s, *e, *ep));
+            // tb_end[i] = last sub-pipeline index currently occupied on TB i
+            let mut tb_end: Vec<usize> = Vec::new();
+            let mut tb_slots: Vec<Vec<PrimSlot>> = Vec::new();
+            for (start, end, ep) in items {
+                let mut placed = false;
+                for (i, last) in tb_end.iter_mut().enumerate() {
+                    if *last < start {
+                        *last = end;
+                        tb_slots[i].extend(intervals[&ep].2.iter().copied());
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    tb_end.push(end);
+                    let mut v = Vec::new();
+                    v.extend(intervals[&ep].2.iter().copied());
+                    tb_slots.push(v);
+                }
+            }
+            for tb in &mut tb_slots {
+                tb.sort_by_key(|s| (pos(s.task), s.dir));
+            }
+            per_rank[rank].tbs = tb_slots.into_iter().map(TbPlan::full).collect();
+        }
+        Self {
+            per_rank,
+            strategy: "state".into(),
+            n_channels: 1,
+        }
+    }
+
+    /// Total number of TBs across all ranks.
+    pub fn total_tbs(&self) -> usize {
+        self.per_rank.iter().map(|r| r.tbs.len()).sum()
+    }
+
+    /// TBs on the busiest rank (the `#TB` row of Table 3).
+    pub fn max_rank_tbs(&self) -> usize {
+        self.per_rank.iter().map(|r| r.tbs.len()).max().unwrap_or(0)
+    }
+
+    /// Validate the allocation against its DAG and schedule:
+    /// * every task contributes exactly one Send slot (on its src rank) and
+    ///   one Recv slot (on its dst rank),
+    /// * slots within a TB are ordered by sub-pipeline index,
+    /// * slots record the sub-pipeline the schedule actually assigned.
+    pub fn validate(&self, dag: &DepDag, schedule: &Schedule) -> Result<(), IrError> {
+        // For each (task, dir), the set of (stride, offset) windows covering it.
+        let mut send_cover: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dag.len()];
+        let mut recv_cover: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dag.len()];
+        let sp_of: HashMap<TaskId, usize> = schedule.sub_pipeline_of().into_iter().collect();
+        for (rank, plan) in self.per_rank.iter().enumerate() {
+            for tb in &plan.tbs {
+                if tb.mb_stride == 0 || tb.mb_offset >= tb.mb_stride {
+                    return Err(IrError::new(format!(
+                        "TB on rank r{rank} has invalid micro-batch window {}%{}",
+                        tb.mb_offset, tb.mb_stride
+                    )));
+                }
+                let mut last_sp = 0usize;
+                for slot in &tb.slots {
+                    let t = dag.task(slot.task);
+                    let expect_rank = match slot.dir {
+                        Direction::Send => t.src,
+                        Direction::Recv => t.dst,
+                    };
+                    if expect_rank.index() != rank {
+                        return Err(IrError::new(format!(
+                            "slot for task {} ({:?}) placed on rank r{rank}, expected {}",
+                            slot.task, slot.dir, expect_rank
+                        )));
+                    }
+                    if sp_of.get(&slot.task) != Some(&slot.sub_pipeline) {
+                        return Err(IrError::new(format!(
+                            "slot for task {} records sub-pipeline {}, schedule says {:?}",
+                            slot.task,
+                            slot.sub_pipeline,
+                            sp_of.get(&slot.task)
+                        )));
+                    }
+                    if slot.sub_pipeline < last_sp {
+                        return Err(IrError::new(format!(
+                            "TB on rank r{rank} has out-of-order slots (sub-pipeline {} after {})",
+                            slot.sub_pipeline, last_sp
+                        )));
+                    }
+                    last_sp = slot.sub_pipeline;
+                    let cover = match slot.dir {
+                        Direction::Send => &mut send_cover,
+                        Direction::Recv => &mut recv_cover,
+                    };
+                    cover[slot.task.index()].push((tb.mb_stride, tb.mb_offset));
+                }
+            }
+        }
+        // Every (task, dir) must be covered by windows that exactly
+        // partition the micro-batch space: equal strides, offsets 0..stride.
+        for (what, cover) in [("Send", &send_cover), ("Recv", &recv_cover)] {
+            for (i, windows) in cover.iter().enumerate() {
+                if windows.is_empty() {
+                    return Err(IrError::new(format!("task t{i} is missing a {what} slot")));
+                }
+                let stride = windows[0].0;
+                let mut offsets: Vec<u32> = windows
+                    .iter()
+                    .map(|(s, o)| {
+                        if *s == stride {
+                            Ok(*o)
+                        } else {
+                            Err(IrError::new(format!(
+                                "task t{i} {what} slots mix strides {stride} and {s}"
+                            )))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                offsets.sort_unstable();
+                let expect: Vec<u32> = (0..stride).collect();
+                if offsets != expect {
+                    return Err(IrError::new(format!(
+                        "task t{i} {what} windows {offsets:?} do not partition stride {stride}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn infer_n_ranks(dag: &DepDag) -> usize {
+    dag.n_chunks() as usize
+}
+
+/// Expand each scheduled task into its Send and Recv slots, grouped by the
+/// rank the slot runs on, preserving sub-pipeline order.
+fn collect_slots(dag: &DepDag, schedule: &Schedule) -> Vec<Vec<PrimSlot>> {
+    let n_ranks = infer_n_ranks(dag);
+    let mut per_rank: Vec<Vec<PrimSlot>> = vec![Vec::new(); n_ranks];
+    for (sp_idx, sp) in schedule.sub_pipelines.iter().enumerate() {
+        for &tid in sp {
+            let t = dag.task(tid);
+            per_rank[t.src.index()].push(PrimSlot {
+                task: tid,
+                dir: Direction::Send,
+                sub_pipeline: sp_idx,
+            });
+            per_rank[t.dst.index()].push(PrimSlot {
+                task: tid,
+                dir: Direction::Recv,
+                sub_pipeline: sp_idx,
+            });
+        }
+    }
+    per_rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_lang::{AlgoBuilder, OpType};
+    use rescc_sched::hpds;
+    use rescc_topology::Topology;
+
+    fn ring_setup(nodes: u32, gpn: u32) -> (DepDag, Schedule) {
+        let n = nodes * gpn;
+        let mut b = AlgoBuilder::new("Ring", OpType::AllGather, n);
+        for r in 0..n {
+            for step in 0..n - 1 {
+                b.recv(r, (r + 1) % n, step, (r + n - step) % n);
+            }
+        }
+        let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(nodes, gpn)).unwrap();
+        let s = hpds(&dag);
+        (dag, s)
+    }
+
+    #[test]
+    fn connection_based_one_tb_per_endpoint_per_channel() {
+        let (dag, s) = ring_setup(1, 8);
+        let a = TbAllocation::connection_based(&dag, &s, 1);
+        a.validate(&dag, &s).unwrap();
+        // Ring: each rank has 1 send endpoint + 1 recv endpoint.
+        assert_eq!(a.max_rank_tbs(), 2);
+        assert_eq!(a.total_tbs(), 16);
+        let a2 = TbAllocation::connection_based(&dag, &s, 4);
+        a2.validate(&dag, &s).unwrap();
+        assert_eq!(a2.total_tbs(), 64);
+    }
+
+    #[test]
+    fn state_based_never_uses_more_tbs() {
+        for (nodes, gpn) in [(1u32, 8u32), (2, 4), (2, 8)] {
+            let (dag, s) = ring_setup(nodes, gpn);
+            let conn = TbAllocation::connection_based(&dag, &s, 1);
+            let state = TbAllocation::state_based(&dag, &s);
+            state.validate(&dag, &s).unwrap();
+            assert!(
+                state.total_tbs() <= conn.total_tbs(),
+                "state {} > connection {} on {nodes}x{gpn}",
+                state.total_tbs(),
+                conn.total_tbs()
+            );
+        }
+    }
+
+    #[test]
+    fn state_based_merges_disjoint_endpoints() {
+        // A chain where rank endpoints are active in strictly separated
+        // sub-pipelines: state-based merges them where possible.
+        let mut b = AlgoBuilder::new("phased", OpType::AllGather, 4);
+        b.recv(0, 1, 0, 0).recv(1, 2, 1, 0).recv(2, 3, 2, 0).recv(3, 0, 3, 0);
+        let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(1, 4)).unwrap();
+        let s = hpds(&dag);
+        let state = TbAllocation::state_based(&dag, &s);
+        state.validate(&dag, &s).unwrap();
+        let conn = TbAllocation::connection_based(&dag, &s, 1);
+        assert!(state.total_tbs() <= conn.total_tbs());
+    }
+
+    #[test]
+    fn chained_allocation_colocates_ring_transits() {
+        // In a ring, every rank's send endpoint forwards what its receive
+        // endpoint delivers: chain merging must put both on one TB.
+        let (dag, s) = ring_setup(1, 8);
+        let plain = TbAllocation::state_based(&dag, &s);
+        let chained = TbAllocation::state_based_chained(&dag, &s);
+        chained.validate(&dag, &s).unwrap();
+        assert!(
+            chained.total_tbs() < plain.total_tbs(),
+            "chained {} !< plain {}",
+            chained.total_tbs(),
+            plain.total_tbs()
+        );
+        // Each rank collapses to a single TB holding recv + send slots.
+        assert_eq!(chained.max_rank_tbs(), 1);
+    }
+
+    #[test]
+    fn chained_allocation_declines_mesh_fed_endpoints() {
+        // Star: rank 0 gathers from everyone then broadcasts — the send
+        // endpoints have multiple feeders, so no chain merge applies and
+        // the result equals plain state-based.
+        let mut b = AlgoBuilder::new("star", OpType::AllReduce, 4);
+        for r in 1..4u32 {
+            b.rrc(r, 0, 0, 0);
+        }
+        for r in 1..4u32 {
+            b.recv(0, r, 1, 0);
+        }
+        let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(1, 4)).unwrap();
+        let s = hpds(&dag);
+        let plain = TbAllocation::state_based(&dag, &s);
+        let chained = TbAllocation::state_based_chained(&dag, &s);
+        chained.validate(&dag, &s).unwrap();
+        assert_eq!(plain.total_tbs(), chained.total_tbs());
+    }
+
+    #[test]
+    fn validation_catches_missing_slot() {
+        let (dag, s) = ring_setup(1, 4);
+        let mut a = TbAllocation::state_based(&dag, &s);
+        'outer: for plan in &mut a.per_rank {
+            for tb in &mut plan.tbs {
+                if !tb.slots.is_empty() {
+                    tb.slots.pop();
+                    break 'outer;
+                }
+            }
+        }
+        assert!(a.validate(&dag, &s).is_err());
+    }
+
+    #[test]
+    fn validation_catches_wrong_rank() {
+        let (dag, s) = ring_setup(1, 4);
+        let mut a = TbAllocation::state_based(&dag, &s);
+        // Move rank 0's first TB onto rank 1.
+        let tb = a.per_rank[0].tbs.remove(0);
+        a.per_rank[1].tbs.push(tb);
+        assert!(a.validate(&dag, &s).is_err());
+    }
+
+    #[test]
+    fn channel_copies_may_be_idle() {
+        let (dag, s) = ring_setup(1, 4);
+        let a = TbAllocation::connection_based(&dag, &s, 8);
+        // Channel TBs carry the whole slot list but only their micro-batch
+        // slice; with few micro-batches most channel TBs end up with no
+        // work at runtime — MSCCL-style waste. Structurally: 8 TBs per
+        // endpoint instead of 1.
+        let conn1 = TbAllocation::connection_based(&dag, &s, 1);
+        assert_eq!(a.total_tbs(), 8 * conn1.total_tbs());
+        a.validate(&dag, &s).unwrap();
+    }
+}

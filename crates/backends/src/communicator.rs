@@ -1,0 +1,154 @@
+//! A NCCL-style convenience API: create a [`Communicator`] for a cluster
+//! once, then issue collectives by operator and size — algorithm selection,
+//! compilation and plan caching happen inside, the way a downstream user
+//! would actually consume the library.
+//!
+//! Algorithm selection policy (mirroring how vendor libraries pick):
+//!
+//! * single node → hierarchical mesh (full-mesh phases use every pair
+//!   channel; latency-optimal recursive variants for power-of-two small
+//!   buffers),
+//! * multi-node → the HM family of Appendix A (hierarchical:
+//!   intra-mesh + inter-ring) — the paper's expert choice for Clos
+//!   clusters.
+
+use crate::{Backend, RescclBackend, RunReport, DEFAULT_CHUNK_BYTES};
+use rescc_algos::{
+    hm_allgather, hm_allreduce, hm_reduce_scatter, recursive_halving_doubling_allreduce,
+};
+use rescc_lang::{AlgoSpec, OpType};
+use rescc_sim::SimResult;
+use rescc_topology::Topology;
+use std::collections::HashMap;
+
+/// A handle for issuing collectives on a fixed cluster.
+pub struct Communicator {
+    topo: Topology,
+    backend: RescclBackend,
+    chunk_bytes: u64,
+    /// Cached specs per (op, small) bucket — algorithm construction is
+    /// cheap but deterministic reuse keeps behaviour predictable.
+    specs: HashMap<(OpType, bool), AlgoSpec>,
+}
+
+impl Communicator {
+    /// Create a communicator over `topo` with the default ResCCL backend.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            backend: RescclBackend::default(),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            specs: HashMap::new(),
+        }
+    }
+
+    /// Override the transfer chunk size (default 1 MB).
+    pub fn with_chunk_bytes(mut self, chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0);
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// The topology this communicator serves.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Pick the algorithm for an operator and buffer size.
+    fn select(&mut self, op: OpType, buffer_bytes: u64) -> AlgoSpec {
+        let nodes = self.topo.n_nodes();
+        let g = self.topo.gpus_per_node();
+        let n = self.topo.n_ranks();
+        // "Small" = latency-dominated: few micro-batches to pipeline.
+        let small = buffer_bytes <= (n as u64) * self.chunk_bytes * 2;
+        if let Some(spec) = self.specs.get(&(op, small)) {
+            return spec.clone();
+        }
+        let spec = match op {
+            OpType::AllGather => hm_allgather(nodes, g),
+            OpType::ReduceScatter => hm_reduce_scatter(nodes, g),
+            OpType::AllReduce => {
+                if small && n.is_power_of_two() && nodes == 1 {
+                    // Log-depth butterfly wins when α dominates.
+                    recursive_halving_doubling_allreduce(n)
+                } else {
+                    hm_allreduce(nodes, g)
+                }
+            }
+        };
+        self.specs.insert((op, small), spec.clone());
+        spec
+    }
+
+    /// AllReduce `buffer_bytes` per rank.
+    pub fn all_reduce(&mut self, buffer_bytes: u64) -> SimResult<RunReport> {
+        self.run(OpType::AllReduce, buffer_bytes)
+    }
+
+    /// AllGather `buffer_bytes` per rank (the gathered size).
+    pub fn all_gather(&mut self, buffer_bytes: u64) -> SimResult<RunReport> {
+        self.run(OpType::AllGather, buffer_bytes)
+    }
+
+    /// ReduceScatter `buffer_bytes` per rank.
+    pub fn reduce_scatter(&mut self, buffer_bytes: u64) -> SimResult<RunReport> {
+        self.run(OpType::ReduceScatter, buffer_bytes)
+    }
+
+    fn run(&mut self, op: OpType, buffer_bytes: u64) -> SimResult<RunReport> {
+        let spec = self.select(op, buffer_bytes);
+        let chunk = self.chunk_bytes;
+        self.backend.run_unchecked(&spec, &self.topo, buffer_bytes, chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn issues_all_three_collectives() {
+        let mut comm = Communicator::new(Topology::a100(2, 4));
+        for rep in [
+            comm.all_reduce(64 * MB).unwrap(),
+            comm.all_gather(64 * MB).unwrap(),
+            comm.reduce_scatter(64 * MB).unwrap(),
+        ] {
+            assert!(rep.algbw_gbps() > 0.0);
+            assert_eq!(rep.backend, "resccl");
+        }
+    }
+
+    #[test]
+    fn small_single_node_allreduce_uses_butterfly() {
+        let mut comm = Communicator::new(Topology::a100(1, 8));
+        let small = comm.all_reduce(4 * MB).unwrap();
+        assert!(small.algo.starts_with("rechd-ar"));
+        let large = comm.all_reduce(1024 * MB).unwrap();
+        assert!(large.algo.starts_with("hm-ar"));
+    }
+
+    #[test]
+    fn multi_node_uses_hierarchical_mesh() {
+        let mut comm = Communicator::new(Topology::a100(4, 8));
+        let rep = comm.all_reduce(256 * MB).unwrap();
+        assert!(rep.algo.starts_with("hm-ar"));
+    }
+
+    #[test]
+    fn spec_cache_is_stable() {
+        let mut comm = Communicator::new(Topology::a100(2, 4));
+        let a = comm.all_gather(128 * MB).unwrap();
+        let b = comm.all_gather(128 * MB).unwrap();
+        assert_eq!(a.sim, b.sim);
+    }
+
+    #[test]
+    fn custom_chunk_size() {
+        let mut comm = Communicator::new(Topology::a100(1, 4)).with_chunk_bytes(4 * MB);
+        let rep = comm.all_gather(64 * MB).unwrap();
+        assert!(rep.sim.n_micro_batches <= 4);
+    }
+}

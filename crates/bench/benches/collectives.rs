@@ -1,0 +1,34 @@
+//! Criterion benchmarks of full backend runs — wall-clock cost of one
+//! simulated collective per backend (the building block of every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescc_algos::hm_allreduce;
+use rescc_backends::{Backend, MscclBackend, NcclBackend, RescclBackend};
+use rescc_topology::Topology;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend-run");
+    group.sample_size(10);
+    let topo = Topology::a100(2, 8);
+    let spec = hm_allreduce(2, 8);
+    let buffer = 128u64 << 20;
+    let chunk = 1u64 << 20;
+    let backends: Vec<(&str, Box<dyn Backend>)> = vec![
+        ("nccl", Box::new(NcclBackend::default())),
+        ("msccl", Box::new(MscclBackend::default())),
+        ("resccl", Box::new(RescclBackend::default())),
+    ];
+    for (name, backend) in &backends {
+        group.bench_with_input(
+            BenchmarkId::new("hm-ar-2x8-128MB", name),
+            backend,
+            |b, backend| {
+                b.iter(|| backend.run_unchecked(&spec, &topo, buffer, chunk).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

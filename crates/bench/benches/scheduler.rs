@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the schedulers: HPDS (Algorithm 1) vs the
+//! round-robin baseline, across DAG sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescc_algos::{hm_allreduce, ring_allgather};
+use rescc_ir::DepDag;
+use rescc_sched::{hpds, round_robin};
+use rescc_topology::Topology;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(30);
+    for (nodes, g) in [(2u32, 4u32), (2, 8), (4, 8)] {
+        let topo = Topology::a100(nodes, g);
+        let spec = hm_allreduce(nodes, g);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("hpds/hm-ar", format!("{nodes}x{g}")),
+            &dag,
+            |b, dag| b.iter(|| hpds(dag)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rr/hm-ar", format!("{nodes}x{g}")),
+            &dag,
+            |b, dag| b.iter(|| round_robin(dag)),
+        );
+    }
+    // A long-chain workload: the ring stresses the per-chunk chain logic.
+    let topo = Topology::a100(4, 8);
+    let dag = DepDag::build(&ring_allgather(32), &topo).unwrap();
+    group.bench_function("hpds/ring-32", |b| b.iter(|| hpds(&dag)));
+    group.finish();
+}
+
+fn bench_dag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag-build");
+    group.sample_size(30);
+    for (nodes, g) in [(2u32, 8u32), (4, 8), (8, 8)] {
+        let topo = Topology::a100(nodes, g);
+        let spec = hm_allreduce(nodes, g);
+        group.bench_with_input(
+            BenchmarkId::new("hm-ar", format!("{nodes}x{g}")),
+            &(&spec, &topo),
+            |b, (spec, topo)| b.iter(|| DepDag::build(spec, topo).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_dag_build);
+criterion_main!(benches);

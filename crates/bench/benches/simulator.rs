@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the discrete-event simulator: events per
+//! second across micro-batch counts and cluster shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rescc_alloc::TbAllocation;
+use rescc_algos::hm_allreduce;
+use rescc_ir::{DepDag, MicroBatchPlan};
+use rescc_kernel::{ExecMode, KernelProgram, LoopOrder};
+use rescc_sched::hpds;
+use rescc_sim::{simulate, SimConfig};
+use rescc_topology::Topology;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let topo = Topology::a100(2, 8);
+    let spec = hm_allreduce(2, 8);
+    let dag = DepDag::build(&spec, &topo).unwrap();
+    let sched = hpds(&dag);
+    let alloc = TbAllocation::state_based(&dag, &sched);
+    let prog = KernelProgram::generate(
+        spec.name(),
+        &dag,
+        &alloc,
+        LoopOrder::SlotMajor,
+        ExecMode::DirectKernel,
+    );
+    let cfg = SimConfig::default().without_validation();
+    for n_mb_target in [4u64, 16, 64] {
+        let buffer = n_mb_target * spec.n_chunks() as u64 * (1 << 20);
+        let plan = MicroBatchPlan::plan(buffer, spec.n_chunks(), 1 << 20);
+        let invocations = dag.len() as u64 * plan.n_micro_batches as u64;
+        group.throughput(Throughput::Elements(invocations));
+        group.bench_with_input(
+            BenchmarkId::new("hm-ar-2x8", format!("{}mb", plan.n_micro_batches)),
+            &plan,
+            |b, plan| {
+                b.iter(|| simulate(&topo, &dag, &prog, plan, spec.op(), &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_validation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator-validation");
+    group.sample_size(20);
+    let topo = Topology::a100(2, 4);
+    let spec = hm_allreduce(2, 4);
+    let dag = DepDag::build(&spec, &topo).unwrap();
+    let sched = hpds(&dag);
+    let alloc = TbAllocation::state_based(&dag, &sched);
+    let prog = KernelProgram::generate(
+        spec.name(),
+        &dag,
+        &alloc,
+        LoopOrder::SlotMajor,
+        ExecMode::DirectKernel,
+    );
+    let plan = MicroBatchPlan::plan(128 << 20, spec.n_chunks(), 1 << 20);
+    group.bench_function("with-data-checking", |b| {
+        b.iter(|| simulate(&topo, &dag, &prog, &plan, spec.op(), &SimConfig::default()).unwrap())
+    });
+    group.bench_function("without-data-checking", |b| {
+        let cfg = SimConfig::default().without_validation();
+        b.iter(|| simulate(&topo, &dag, &prog, &plan, spec.op(), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_validation_overhead);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the component-ablation matrix (beyond the paper's figures).
+
+fn main() {
+    rescc_bench::experiments::ablation::run();
+}

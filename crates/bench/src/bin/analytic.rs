@@ -1,0 +1,5 @@
+//! Validates the paper's Eq. 3/5/6 analytic model against the simulator.
+
+fn main() {
+    rescc_bench::experiments::analytic::run();
+}

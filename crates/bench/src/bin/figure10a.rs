@@ -1,0 +1,5 @@
+//! Regenerates Figure 10(a): offline compile phase scalability.
+
+fn main() {
+    rescc_bench::experiments::figure10::run_a();
+}

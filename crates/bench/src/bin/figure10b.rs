@@ -1,0 +1,5 @@
+//! Regenerates Figure 10(b): HPDS vs round-robin.
+
+fn main() {
+    rescc_bench::experiments::figure10::run_b();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure11 (see `rescc_bench::experiments::figure11`).
+
+fn main() {
+    rescc_bench::experiments::figure11::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure12 (see `rescc_bench::experiments::figure12`).
+
+fn main() {
+    rescc_bench::experiments::figure12::run();
+}

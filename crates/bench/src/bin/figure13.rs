@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure13 (see `rescc_bench::experiments::figure13`).
+
+fn main() {
+    rescc_bench::experiments::figure13::run();
+}

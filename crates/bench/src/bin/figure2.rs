@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure2 (see `rescc_bench::experiments::figure2`).
+
+fn main() {
+    rescc_bench::experiments::figure2::run();
+}

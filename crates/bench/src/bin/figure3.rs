@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure3 (see `rescc_bench::experiments::figure3`).
+
+fn main() {
+    rescc_bench::experiments::figure3::run();
+}

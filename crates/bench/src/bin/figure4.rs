@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure4 (see `rescc_bench::experiments::figure4`).
+
+fn main() {
+    rescc_bench::experiments::figure4::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure6 (see `rescc_bench::experiments::figure6`).
+
+fn main() {
+    rescc_bench::experiments::figure6::run();
+}

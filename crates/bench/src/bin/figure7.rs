@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure7 (see `rescc_bench::experiments::figure7`).
+
+fn main() {
+    rescc_bench::experiments::figure7::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure8 (see `rescc_bench::experiments::figure8`).
+
+fn main() {
+    rescc_bench::experiments::figure8::run();
+}

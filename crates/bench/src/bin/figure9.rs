@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure9 (see `rescc_bench::experiments::figure9`).
+
+fn main() {
+    rescc_bench::experiments::figure9::run();
+}

@@ -1,0 +1,24 @@
+//! Runs every table/figure reproduction in sequence (the full §5
+//! evaluation). Expect several minutes of wall-clock time in release mode.
+
+use rescc_bench::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    ex::table1::run();
+    ex::figure2::run();
+    ex::figure3::run();
+    ex::figure4::run();
+    ex::figure6::run();
+    ex::figure7::run();
+    ex::figure8::run();
+    ex::figure9::run();
+    ex::figure10::run();
+    ex::figure11::run();
+    ex::table3::run();
+    ex::figure12::run();
+    ex::figure13::run();
+    ex::ablation::run();
+    ex::analytic::run();
+    println!("\nreproduce-all finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see `rescc_bench::experiments::table1`).
+
+fn main() {
+    rescc_bench::experiments::table1::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see `rescc_bench::experiments::table3`).
+
+fn main() {
+    rescc_bench::experiments::table3::run();
+}

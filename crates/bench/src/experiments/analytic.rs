@@ -1,0 +1,104 @@
+//! **Analytic model validation** (beyond the paper's figures): the §3
+//! closed forms (Eq. 3 algorithm-level, Eq. 5 task-level) predict how the
+//! three execution granularities scale with the micro-batch count `n`;
+//! this experiment checks those predictions against the simulator.
+//!
+//! Two checks:
+//!
+//! 1. **Linearity** — Eq. 3/5 say completion is affine in `n`
+//!    (`T(n) = fill + n · steady`); measured completions at n ∈ {8..128}
+//!    must fit an affine model with small residuals.
+//! 2. **Limit ratio** (Eq. 6) — as `n` grows, the task-level/algorithm-
+//!    level ratio must converge toward the bubble ratio: task-level strictly
+//!    faster, and the measured per-micro-batch steady-state cost lower.
+
+use crate::{print_table, MB};
+use rescc_algos::hm_allgather;
+use rescc_backends::{Backend, NcclBackend, RescclBackend};
+use rescc_topology::Topology;
+
+fn affine_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    // Least squares y = a + b x; returns (a, b, max relative residual).
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    let max_rel = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| ((a + b * x - y) / y).abs())
+        .fold(0.0, f64::max);
+    (a, b, max_rel)
+}
+
+/// Run the analytic-model validation.
+pub fn run() {
+    let topo = Topology::a100(2, 4);
+    let spec = hm_allgather(2, 4);
+    let n_chunks = spec.n_chunks() as u64;
+
+    let resccl = RescclBackend::default();
+    let nccl = NcclBackend::default();
+
+    let ns: Vec<u64> = vec![8, 16, 32, 64, 128];
+    let mut xs = Vec::new();
+    let mut task_level = Vec::new();
+    let mut algo_level = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &ns {
+        let buffer = n * n_chunks * MB;
+        let tr = resccl
+            .run_unchecked(&spec, &topo, buffer, MB)
+            .expect("resccl run")
+            .sim
+            .completion_ns;
+        let ta = nccl
+            .run_unchecked(&spec, &topo, buffer, MB)
+            .expect("nccl run")
+            .sim
+            .completion_ns;
+        xs.push(n as f64);
+        task_level.push(tr);
+        algo_level.push(ta);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}ms", tr / 1e6),
+            format!("{:.2}ms", ta / 1e6),
+            format!("{:.2}x", ta / tr),
+        ]);
+    }
+    print_table(
+        "Analytic validation: completion vs micro-batch count n (HM-AG, 2x4)",
+        &["n", "task-level (Eq.5)", "algorithm-level (Eq.3)", "ratio"],
+        &rows,
+    );
+
+    let (fill_p, steady_p, res_p) = affine_fit(&xs, &task_level);
+    let (fill_a, steady_a, res_a) = affine_fit(&xs, &algo_level);
+    println!(
+        "task-level fit:      T(n) = {:.1}us + n * {:.1}us   (max residual {:.2}%)",
+        fill_p / 1e3,
+        steady_p / 1e3,
+        100.0 * res_p
+    );
+    println!(
+        "algorithm-level fit: T(n) = {:.1}us + n * {:.1}us   (max residual {:.2}%)",
+        fill_a / 1e3,
+        steady_a / 1e3,
+        100.0 * res_a
+    );
+    println!(
+        "Eq. 6 asymptotics: per-micro-batch steady cost ratio = {:.2}x \
+         (task-level steady cost must be lower: {})",
+        steady_a / steady_p,
+        if steady_p < steady_a { "yes" } else { "NO" },
+    );
+    assert!(
+        res_p < 0.15 && res_a < 0.15,
+        "completions must be near-affine in n (Eq. 3/5)"
+    );
+    assert!(steady_p < steady_a, "Eq. 6 must favor task-level");
+}

@@ -1,0 +1,83 @@
+//! **Figure 12** — Per-TB time-cost breakdown of ResCCL vs MSCCL executing
+//! the same expert (a) and synthesized (b) algorithms on V100s: sync vs
+//! execution time per worker TB, plus the early-release saving.
+//!
+//! Paper shape: ResCCL reduces thread resource consumption by up to 75%,
+//! shrinks per-TB occupied time to as little as 3.8% of MSCCL's, and
+//! releases TBs early.
+
+use crate::{pct, print_table, MB};
+use rescc_algos::{hm_allreduce, taccl_like_allreduce};
+use rescc_backends::{Backend, MscclBackend, RescclBackend};
+use rescc_lang::AlgoSpec;
+use rescc_topology::Topology;
+
+fn panel(label: &str, spec: &AlgoSpec, topo: &Topology) {
+    let msccl = MscclBackend::default();
+    let resccl = RescclBackend::default();
+    let m = msccl
+        .run_unchecked(spec, topo, 256 * MB, MB)
+        .expect("figure12 msccl");
+    let r = resccl
+        .run_unchecked(spec, topo, 256 * MB, MB)
+        .expect("figure12 resccl");
+
+    // Rank-0 worker TBs, side by side (MSCCL has more TBs than ResCCL —
+    // that asymmetry *is* the figure).
+    let m_tbs: Vec<_> = m.sim.tb_stats.iter().filter(|t| t.rank == 0).collect();
+    let r_tbs: Vec<_> = r.sim.tb_stats.iter().filter(|t| t.rank == 0).collect();
+    let n = m_tbs.len().max(r_tbs.len());
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let fmt = |x: Option<&&rescc_sim::TbStat>| match x {
+                Some(t) => format!(
+                    "sync {:.1}ms / exec {:.1}ms / rel {:.1}ms",
+                    t.sync_ns / 1e6,
+                    t.busy_ns / 1e6,
+                    t.release_ns / 1e6
+                ),
+                None => "-".to_string(),
+            };
+            vec![
+                format!("TB{i}"),
+                fmt(m_tbs.get(i)),
+                fmt(r_tbs.get(i)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 12 {label}: rank-0 per-TB time breakdown"),
+        &["Worker", "MSCCL (sync/exec, release)", "ResCCL (sync/exec, release)"],
+        &rows,
+    );
+    let m_occ: f64 = m.sim.tb_stats.iter().map(|t| t.occupancy_ns).sum();
+    let r_occ: f64 = r.sim.tb_stats.iter().map(|t| t.occupancy_ns).sum();
+    println!(
+        "total TBs: MSCCL {} vs ResCCL {} ({} saved) | total TB-occupancy: \
+         MSCCL {:.1}ms vs ResCCL {:.1}ms ({} of MSCCL) | avg utilization: \
+         MSCCL {} vs ResCCL {}",
+        m.total_tbs,
+        r.total_tbs,
+        pct(1.0 - r.total_tbs as f64 / m.total_tbs as f64),
+        m_occ / 1e6,
+        r_occ / 1e6,
+        pct(r_occ / m_occ),
+        pct(m.sim.avg_comm_ratio()),
+        pct(r.sim.avg_comm_ratio()),
+    );
+}
+
+/// Regenerate Figure 12.
+pub fn run() {
+    let topo = Topology::v100(2, 8);
+    panel("(a) expert HM-AllReduce", &hm_allreduce(2, 8), &topo);
+    panel(
+        "(b) synthesized TACCL-like AllReduce",
+        &taccl_like_allreduce(2, 8),
+        &topo,
+    );
+    println!(
+        "paper: up to 75% fewer TBs, occupied time down to 3.8% of MSCCL's, \
+         43.4-66.9% higher average utilization, early release."
+    );
+}

@@ -1,0 +1,41 @@
+//! **Figure 8** — Expert-designed AllReduce and AllGather under additional
+//! topologies: two servers × 4 GPUs and four servers × 4 GPUs.
+//!
+//! Paper shape: ResCCL improves AllGather bandwidth by 1.6–2.3× over NCCL
+//! and 6.8%–23.1% over MSCCL; AllReduce up to 3.7× over NCCL and 2.4× over
+//! MSCCL.
+
+use crate::backend_panel;
+use rescc_algos::{hm_allgather, hm_allreduce, nccl_rings_allgather, nccl_rings_allreduce};
+use rescc_topology::Topology;
+
+/// Regenerate Figure 8.
+pub fn run() {
+    let t2x4 = Topology::a100(2, 4);
+    let t4x4 = Topology::a100(4, 4);
+    backend_panel(
+        "Figure 8 (a) expert AllGather, 2x4",
+        &nccl_rings_allgather(2, 4, 2),
+        &hm_allgather(2, 4),
+        &t2x4,
+    );
+    backend_panel(
+        "Figure 8 (b) expert AllGather, 4x4",
+        &nccl_rings_allgather(4, 4, 2),
+        &hm_allgather(4, 4),
+        &t4x4,
+    );
+    backend_panel(
+        "Figure 8 (c) expert AllReduce, 2x4",
+        &nccl_rings_allreduce(2, 4, 2),
+        &hm_allreduce(2, 4),
+        &t2x4,
+    );
+    backend_panel(
+        "Figure 8 (d) expert AllReduce, 4x4",
+        &nccl_rings_allreduce(4, 4, 2),
+        &hm_allreduce(4, 4),
+        &t4x4,
+    );
+    println!("paper: 1.6-2.3x over NCCL on AG, up to 3.7x on AR; 6.8-23.1% over MSCCL on AG.");
+}

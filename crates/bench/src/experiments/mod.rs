@@ -1,0 +1,17 @@
+//! One module per regenerated table/figure; each exposes `run()`.
+
+pub mod ablation;
+pub mod analytic;
+pub mod figure10;
+pub mod figure11;
+pub mod figure12;
+pub mod figure13;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod figure9;
+pub mod table1;
+pub mod table3;

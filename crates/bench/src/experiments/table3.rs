@@ -1,0 +1,75 @@
+//! **Table 3** — TB resource utilization: ResCCL vs MSCCL running the same
+//! expert and synthesized algorithms on Topo1–Topo4.
+//!
+//! Metrics per (backend, algorithm, topology): total TB count, fraction of
+//! TB occupancy spent communicating, average idle ratio, maximum idle
+//! ratio. Paper shape: ResCCL uses ≤½ the TBs, sustains >85–99% comm time
+//! on expert algorithms, and its max idle stays bounded while MSCCL's
+//! reaches 99.9%.
+
+use crate::{pct, print_table, MB};
+use rescc_algos::{hm_allgather, hm_allreduce, taccl_like_allgather, taccl_like_allreduce};
+use rescc_backends::{Backend, MscclBackend, RescclBackend, RunReport};
+use rescc_lang::AlgoSpec;
+use rescc_topology::Topology;
+
+fn topo_shape(i: usize) -> (u32, u32) {
+    match i {
+        1 => (2, 4),
+        2 => (2, 8),
+        3 => (4, 4),
+        4 => (4, 8),
+        _ => unreachable!(),
+    }
+}
+
+fn cells(rep: &RunReport) -> [String; 4] {
+    [
+        rep.total_tbs.to_string(),
+        pct(rep.sim.avg_comm_ratio()),
+        pct(rep.sim.avg_idle_ratio()),
+        pct(rep.sim.max_idle_ratio()),
+    ]
+}
+
+/// Regenerate Table 3.
+pub fn run() {
+    let algos: [(&str, fn(u32, u32) -> AlgoSpec); 4] = [
+        ("Expert AllReduce", hm_allreduce),
+        ("Expert AllGather", hm_allgather),
+        ("Synth AllReduce", taccl_like_allreduce),
+        ("Synth AllGather", taccl_like_allgather),
+    ];
+    let msccl = MscclBackend::default();
+    let resccl = RescclBackend::default();
+
+    for (algo_name, make) in algos {
+        let mut rows = Vec::new();
+        for (backend_name, backend) in
+            [("MSCCL", &msccl as &dyn Backend), ("ResCCL", &resccl)]
+        {
+            for metric in 0..4usize {
+                let metric_name = ["# TB", "Comm Time", "Avg Idle", "Max Idle"][metric];
+                let mut row = vec![backend_name.to_string(), metric_name.to_string()];
+                for topo_i in 1..=4 {
+                    let (nodes, g) = topo_shape(topo_i);
+                    let spec = make(nodes, g);
+                    let rep = backend
+                        .run_unchecked(&spec, &Topology::a100(nodes, g), 128 * MB, MB)
+                        .expect("table3 run");
+                    row.push(cells(&rep)[metric].clone());
+                }
+                rows.push(row);
+            }
+        }
+        print_table(
+            &format!("Table 3 — {algo_name}: TB resource utilization"),
+            &["Backend", "Metric", "Topo1 (2x4)", "Topo2 (2x8)", "Topo3 (4x4)", "Topo4 (4x8)"],
+            &rows,
+        );
+    }
+    println!(
+        "paper: ResCCL reduces TB consumption by up to 77.8%, sustains >92% comm \
+         time on expert AllGather, max idle ≤ 21.4% vs MSCCL's 99.9%."
+    );
+}

@@ -1,0 +1,299 @@
+//! # rescc-core
+//!
+//! The public facade of the ResCCL backend: a four-phase offline compiler
+//! (the workflow of Fig. 5 / Fig. 10(a)) that turns an algorithm — ResCCLang
+//! source or a validated [`AlgoSpec`] — into an executable lightweight
+//! kernel program, plus the plumbing to run the result on the simulated
+//! cluster and to emit the generated pseudo-CUDA.
+//!
+//! Phases (timed individually, matching the Fig. 10(a) breakdown):
+//!
+//! 1. **Parsing** — DSL text → AST → validated `AlgoSpec`,
+//! 2. **Analysis** — `AlgoSpec` → dependency DAG (`G_A`),
+//! 3. **Scheduling** — HPDS (or round-robin) → task pipeline,
+//! 4. **Lowering** — TB allocation + kernel generation.
+//!
+//! ```
+//! use rescc_core::Compiler;
+//! use rescc_topology::Topology;
+//! use rescc_algos::hm_allreduce;
+//!
+//! let topo = Topology::a100(2, 4);
+//! let plan = Compiler::new().compile_spec(&hm_allreduce(2, 4), &topo).unwrap();
+//! let report = plan.run(64 << 20, 1 << 20).unwrap();
+//! assert_eq!(report.data_valid, Some(true));
+//! println!("compiled in {:?}, ran at {:.1} GB/s",
+//!     plan.timings.total(), report.algo_bandwidth_gbps(64 << 20));
+//! ```
+
+#![warn(missing_docs)]
+
+use rescc_alloc::TbAllocation;
+use rescc_ir::{DepDag, MicroBatchPlan};
+use rescc_kernel::{emit_all, ExecMode, KernelProgram, LoopOrder};
+use rescc_lang::{eval, parse, verify_collective, AlgoSpec, OpType};
+use rescc_sched::{hpds, round_robin, Schedule};
+use rescc_sim::{simulate, SimConfig, SimError, SimReport, SimResult};
+use rescc_topology::Topology;
+use std::time::{Duration, Instant};
+
+/// Scheduler selection for the compiler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerChoice {
+    /// Hierarchical priority-based dynamic scheduling (Algorithm 1).
+    #[default]
+    Hpds,
+    /// Round-robin (the Fig. 10(b) baseline).
+    RoundRobin,
+}
+
+/// Wall-clock duration of each compiler phase (Fig. 10(a)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// DSL text → AST → validated spec. Zero when compiling from a spec.
+    pub parsing: Duration,
+    /// Spec → dependency DAG.
+    pub analysis: Duration,
+    /// DAG → task pipeline (HPDS / RR).
+    pub scheduling: Duration,
+    /// Pipeline → TB allocation → kernel program.
+    pub lowering: Duration,
+}
+
+impl PhaseTimings {
+    /// End-to-end compile time.
+    pub fn total(&self) -> Duration {
+        self.parsing + self.analysis + self.scheduling + self.lowering
+    }
+}
+
+/// The ResCCL offline compiler.
+#[derive(Clone, Debug)]
+pub struct Compiler {
+    /// Scheduler to use.
+    pub scheduler: SchedulerChoice,
+    /// Statically verify the algorithm implements its declared collective
+    /// during the Analysis phase. On by default; automatically skipped
+    /// above 256 ranks, where the symbolic state (O(ranks³)) would dominate
+    /// compile memory — the simulator's runtime check still covers those.
+    pub verify: bool,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerChoice::default(),
+            verify: true,
+        }
+    }
+}
+
+impl Compiler {
+    /// A compiler with the default (HPDS) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use the round-robin scheduler instead of HPDS.
+    pub fn with_round_robin(mut self) -> Self {
+        self.scheduler = SchedulerChoice::RoundRobin;
+        self
+    }
+
+    /// Compile ResCCLang source text for `topo`.
+    pub fn compile_source(&self, source: &str, topo: &Topology) -> SimResult<CompiledPlan> {
+        let t0 = Instant::now();
+        let program = parse(source).map_err(|e| SimError::new(e.to_string()))?;
+        let spec = eval(&program).map_err(|e| SimError::new(e.to_string()))?;
+        let parsing = t0.elapsed();
+        let mut plan = self.compile_spec(&spec, topo)?;
+        plan.timings.parsing = parsing;
+        Ok(plan)
+    }
+
+    /// Compile a validated algorithm spec for `topo`.
+    pub fn compile_spec(&self, spec: &AlgoSpec, topo: &Topology) -> SimResult<CompiledPlan> {
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        if self.verify && spec.n_ranks() <= 256 {
+            verify_collective(spec).map_err(|e| SimError::new(e.to_string()))?;
+        }
+        let dag = DepDag::build(spec, topo).map_err(|e| SimError::new(e.to_string()))?;
+        timings.analysis = t0.elapsed();
+
+        let t0 = Instant::now();
+        let schedule = match self.scheduler {
+            SchedulerChoice::Hpds => hpds(&dag),
+            SchedulerChoice::RoundRobin => round_robin(&dag),
+        };
+        schedule
+            .validate(&dag)
+            .map_err(|e| SimError::new(format!("scheduler bug: {e}")))?;
+        timings.scheduling = t0.elapsed();
+
+        let t0 = Instant::now();
+        let alloc = TbAllocation::state_based(&dag, &schedule);
+        alloc
+            .validate(&dag, &schedule)
+            .map_err(|e| SimError::new(format!("allocation bug: {e}")))?;
+        let program = KernelProgram::generate(
+            spec.name(),
+            &dag,
+            &alloc,
+            LoopOrder::SlotMajor,
+            ExecMode::DirectKernel,
+        );
+        program
+            .validate(&dag)
+            .map_err(|e| SimError::new(format!("lowering bug: {e}")))?;
+        timings.lowering = t0.elapsed();
+
+        Ok(CompiledPlan {
+            topo: topo.clone(),
+            op: spec.op(),
+            n_chunks: spec.n_chunks(),
+            dag,
+            schedule,
+            alloc,
+            program,
+            timings,
+        })
+    }
+}
+
+/// A fully-compiled, executable collective plan.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    /// The topology the plan was compiled for.
+    pub topo: Topology,
+    /// The collective operator implemented.
+    pub op: OpType,
+    /// Chunks per rank.
+    pub n_chunks: u32,
+    /// The dependency DAG.
+    pub dag: DepDag,
+    /// The HPDS/RR task pipeline.
+    pub schedule: Schedule,
+    /// The state-based TB allocation.
+    pub alloc: TbAllocation,
+    /// The generated lightweight kernel program.
+    pub program: KernelProgram,
+    /// Per-phase compile timings.
+    pub timings: PhaseTimings,
+}
+
+impl CompiledPlan {
+    /// Run the plan: synchronize `buffer_bytes` per rank moving
+    /// `chunk_bytes` per invocation, with data validation on.
+    pub fn run(&self, buffer_bytes: u64, chunk_bytes: u64) -> SimResult<SimReport> {
+        self.run_with(buffer_bytes, chunk_bytes, &SimConfig::default())
+    }
+
+    /// Run with a custom simulator configuration.
+    pub fn run_with(
+        &self,
+        buffer_bytes: u64,
+        chunk_bytes: u64,
+        config: &SimConfig,
+    ) -> SimResult<SimReport> {
+        let plan = MicroBatchPlan::plan(buffer_bytes, self.n_chunks, chunk_bytes);
+        simulate(&self.topo, &self.dag, &self.program, &plan, self.op, config)
+    }
+
+    /// Emit the generated pseudo-CUDA kernels for all ranks.
+    pub fn emit_kernels(&self) -> String {
+        emit_all(&self.program)
+    }
+
+    /// Total TBs the plan launches.
+    pub fn total_tbs(&self) -> usize {
+        self.alloc.total_tbs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_algos::{hm_allreduce, ring_allgather_source};
+
+    #[test]
+    fn compile_from_source_and_run() {
+        let topo = Topology::a100(1, 8);
+        let plan = Compiler::new()
+            .compile_source(&ring_allgather_source(8), &topo)
+            .unwrap();
+        assert!(plan.timings.parsing > Duration::ZERO);
+        assert_eq!(plan.dag.len(), 56);
+        let rep = plan.run(64 << 20, 1 << 20).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn compile_spec_times_all_phases() {
+        let topo = Topology::a100(2, 8);
+        let plan = Compiler::new()
+            .compile_spec(&hm_allreduce(2, 8), &topo)
+            .unwrap();
+        assert_eq!(plan.timings.parsing, Duration::ZERO);
+        assert!(plan.timings.total() > Duration::ZERO);
+        assert!(plan.total_tbs() > 0);
+    }
+
+    #[test]
+    fn emitted_kernels_cover_all_ranks() {
+        let topo = Topology::a100(2, 4);
+        let plan = Compiler::new()
+            .compile_spec(&hm_allreduce(2, 4), &topo)
+            .unwrap();
+        let cuda = plan.emit_kernels();
+        for r in 0..8 {
+            assert!(cuda.contains(&format!("resccl_kernel_r{r}")));
+        }
+    }
+
+    #[test]
+    fn round_robin_compiler_variant() {
+        let topo = Topology::a100(2, 4);
+        let plan = Compiler::new()
+            .with_round_robin()
+            .compile_spec(&hm_allreduce(2, 4), &topo)
+            .unwrap();
+        assert_eq!(plan.schedule.policy, "rr");
+        let rep = plan.run(16 << 20, 1 << 20).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn statically_broken_collective_is_rejected_before_scheduling() {
+        use rescc_lang::{AlgoBuilder, OpType};
+        let topo = Topology::a100(1, 4);
+        let mut b = AlgoBuilder::new("broken", OpType::AllGather, 4);
+        b.recv(0, 1, 0, 0); // only one chunk ever moves
+        let err = Compiler::new()
+            .compile_spec(&b.build().unwrap(), &topo)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not implement"), "{err}");
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        use rescc_lang::{AlgoBuilder, OpType};
+        let topo = Topology::a100(1, 4);
+        let mut b = AlgoBuilder::new("partial", OpType::AllGather, 4);
+        b.recv(0, 1, 0, 0);
+        let mut compiler = Compiler::new();
+        compiler.verify = false;
+        // Compiles (the runtime check would still catch it when run).
+        compiler.compile_spec(&b.build().unwrap(), &topo).unwrap();
+    }
+
+    #[test]
+    fn bad_source_is_rejected() {
+        let topo = Topology::a100(1, 4);
+        let err = Compiler::new()
+            .compile_source("def Broken(:\n", &topo)
+            .unwrap_err();
+        assert!(err.to_string().contains("error"));
+    }
+}

@@ -1,0 +1,445 @@
+//! The dependency DAG `G_A = (V_T, E)` of §3.
+//!
+//! Vertices are transmission tasks; edges are **data dependencies**: task
+//! `t2` depends on `t1` when `t2` consumes (or overwrites) the buffer slot
+//! `t1` writes. With the DataBuffer abstraction of §4.2 a buffer slot is a
+//! `(rank, chunk)` pair, so for each chunk:
+//!
+//! * **RAW** — a task sending chunk `c` *from* rank `r` depends on the most
+//!   recent earlier-step delivery of `c` *into* `r`;
+//! * **WAW** — a task delivering `c` into rank `r` depends on the most
+//!   recent earlier-step delivery of `c` into `r` (reduce order must follow
+//!   algorithm steps).
+//!
+//! **Communication dependencies** (link conflicts) are *not* edges — they
+//! are a symmetric interference relation derived from shared contention
+//! resources, exposed via [`DepDag::interferes`] and the per-resource task
+//! index. The scheduler consumes both relations.
+
+use crate::error::{IrError, Result};
+use crate::task::{Task, TaskId};
+use rescc_lang::AlgoSpec;
+use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology};
+use std::collections::HashMap;
+
+/// The dependency DAG for one algorithm on one topology.
+#[derive(Clone, Debug)]
+pub struct DepDag {
+    tasks: Vec<Task>,
+    /// Data-dependency predecessors of each task.
+    preds: Vec<Vec<TaskId>>,
+    /// Data-dependency successors of each task.
+    succs: Vec<Vec<TaskId>>,
+    /// Tasks of each chunk, sorted by step (the per-chunk DAG `G[C]` of
+    /// Algorithm 1).
+    by_chunk: Vec<Vec<TaskId>>,
+    /// Tasks indexed by contention resource.
+    by_resource: HashMap<ResourceId, Vec<TaskId>>,
+    /// Concurrency limit of each conflict resource: how many tasks can
+    /// drive it before a communication dependency (Eq. 1 contention)
+    /// arises — the resource's `saturation_tbs`.
+    conflict_limit: HashMap<ResourceId, u32>,
+    n_chunks: u32,
+}
+
+impl DepDag {
+    /// Build the DAG from a validated algorithm spec and a topology.
+    ///
+    /// Fails if the spec's rank count does not match the topology, or if
+    /// (defensively) a dependency cycle is detected.
+    pub fn build(spec: &AlgoSpec, topo: &Topology) -> Result<Self> {
+        if spec.n_ranks() != topo.n_ranks() {
+            return Err(IrError::new(format!(
+                "algorithm `{}` is for {} ranks but topology `{}` has {}",
+                spec.name(),
+                spec.n_ranks(),
+                topo.name(),
+                topo.n_ranks()
+            )));
+        }
+
+        // Materialize tasks in declaration order.
+        let mut tasks = Vec::with_capacity(spec.transfers().len());
+        for (i, rec) in spec.transfers().iter().enumerate() {
+            let conn = topo.connection(rec.src, rec.dst);
+            tasks.push(Task {
+                id: TaskId::new(i as u32),
+                src: rec.src,
+                dst: rec.dst,
+                step: rec.step,
+                chunk: rec.chunk,
+                comm: rec.comm,
+                conn: conn.id,
+                conflict: conn.conflict,
+                path: conn.path,
+                inter_node: matches!(conn.kind, PathKind::Inter { .. }),
+            });
+        }
+
+        let n = tasks.len();
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let n_chunks = spec.n_chunks();
+        let mut by_chunk: Vec<Vec<TaskId>> = vec![Vec::new(); n_chunks as usize];
+        for t in &tasks {
+            by_chunk[t.chunk.index()].push(t.id);
+        }
+        for chunk_tasks in &mut by_chunk {
+            chunk_tasks.sort_by_key(|id| (tasks[id.index()].step, *id));
+        }
+
+        // Data dependencies, per chunk: track the latest delivery into each
+        // rank's slot of this chunk, step by step.
+        for chunk_tasks in &by_chunk {
+            // last_write[rank] = all tasks of the most recent writing step
+            // that delivered this chunk into `rank`. Several same-step
+            // reductions may write one slot (commutative), and later
+            // readers must wait for every one of them.
+            let mut last_write: HashMap<Rank, Vec<TaskId>> = HashMap::new();
+            let mut i = 0;
+            while i < chunk_tasks.len() {
+                // Process all tasks of one step together: deliveries of the
+                // current step must not appear as predecessors of same-step
+                // reads (the DSL's total order is strict between steps only).
+                let step = tasks[chunk_tasks[i].index()].step;
+                let mut j = i;
+                while j < chunk_tasks.len() && tasks[chunk_tasks[j].index()].step == step {
+                    j += 1;
+                }
+                let group = &chunk_tasks[i..j];
+                // Reads (the send side) and overwrites both depend on every
+                // latest earlier-step write.
+                for &tid in group {
+                    let t = tasks[tid.index()];
+                    if let Some(ws) = last_write.get(&t.src) {
+                        for &w in ws {
+                            add_edge(&mut preds, &mut succs, w, tid);
+                        }
+                    }
+                    if let Some(ws) = last_write.get(&t.dst) {
+                        for &w in ws {
+                            if w != tid {
+                                add_edge(&mut preds, &mut succs, w, tid);
+                            }
+                        }
+                    }
+                }
+                // Commit this step's writes, replacing any older step's.
+                let mut fresh: HashMap<Rank, Vec<TaskId>> = HashMap::new();
+                for &tid in group {
+                    let t = tasks[tid.index()];
+                    fresh.entry(t.dst).or_default().push(tid);
+                }
+                for (rank, writers) in fresh {
+                    last_write.insert(rank, writers);
+                }
+                i = j;
+            }
+        }
+
+        // Resource index for communication dependencies.
+        let mut by_resource: HashMap<ResourceId, Vec<TaskId>> = HashMap::new();
+        let mut conflict_limit: HashMap<ResourceId, u32> = HashMap::new();
+        for t in &tasks {
+            for r in t.conflict.iter() {
+                by_resource.entry(r).or_default().push(t.id);
+                conflict_limit
+                    .entry(r)
+                    .or_insert_with(|| topo.resource_params(r).saturation_tbs.max(1));
+            }
+        }
+
+        let dag = Self {
+            tasks,
+            preds,
+            succs,
+            by_chunk,
+            by_resource,
+            conflict_limit,
+            n_chunks,
+        };
+        // Steps strictly increase along edges, so cycles are impossible by
+        // construction — but validate anyway (defence in depth).
+        dag.topo_order()?;
+        Ok(dag)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Look up a task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Data-dependency predecessors of `id`.
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.index()]
+    }
+
+    /// Data-dependency successors of `id`.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.index()]
+    }
+
+    /// Number of chunks (== ranks).
+    pub fn n_chunks(&self) -> u32 {
+        self.n_chunks
+    }
+
+    /// The per-chunk DAG `G[C]`: tasks of `chunk` sorted by step.
+    pub fn chunk_tasks(&self, chunk: ChunkId) -> &[TaskId] {
+        &self.by_chunk[chunk.index()]
+    }
+
+    /// Tasks that occupy contention resource `res`.
+    pub fn resource_tasks(&self, res: ResourceId) -> &[TaskId] {
+        self.by_resource.get(&res).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All resources any task occupies.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        self.by_resource.keys().copied()
+    }
+
+    /// Communication dependency: do the two tasks share a contention
+    /// resource (and would therefore contend if run concurrently)?
+    pub fn interferes(&self, a: TaskId, b: TaskId) -> bool {
+        let ta = &self.tasks[a.index()];
+        let tb = &self.tasks[b.index()];
+        ta.conflict.intersects(&tb.conflict)
+    }
+
+    /// How many concurrent tasks conflict resource `res` admits before
+    /// contention arises (its `saturation_tbs`).
+    pub fn conflict_limit(&self, res: ResourceId) -> u32 {
+        self.conflict_limit.get(&res).copied().unwrap_or(1)
+    }
+
+    /// A topological order of the data-dependency DAG (Kahn's algorithm).
+    /// Returns an error when a cycle exists.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut indeg: Vec<u32> = vec![0; n];
+        for p in &self.preds {
+            // indeg of a node = number of its predecessors
+            let _ = p;
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            indeg[i] = p.len() as u32;
+        }
+        let mut queue: Vec<TaskId> = (0..n as u32)
+            .map(TaskId::new)
+            .filter(|id| indeg[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &s in &self.succs[id.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(IrError::new(format!(
+                "dependency cycle: only {}/{} tasks orderable",
+                order.len(),
+                n
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Verify that `order` is a valid execution order (every task appears
+    /// exactly once, after all of its predecessors). Used to validate
+    /// scheduler output in tests and debug builds.
+    pub fn validate_order(&self, order: &[TaskId]) -> Result<()> {
+        let n = self.tasks.len();
+        if order.len() != n {
+            return Err(IrError::new(format!(
+                "order covers {}/{} tasks",
+                order.len(),
+                n
+            )));
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (i, id) in order.iter().enumerate() {
+            if id.index() >= n {
+                return Err(IrError::new(format!("unknown task {id}")));
+            }
+            if pos[id.index()] != usize::MAX {
+                return Err(IrError::new(format!("task {id} appears twice")));
+            }
+            pos[id.index()] = i;
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            for dep in p {
+                if pos[dep.index()] > pos[i] {
+                    return Err(IrError::new(format!(
+                        "task t{i} scheduled before its dependency {dep}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn add_edge(preds: &mut [Vec<TaskId>], succs: &mut [Vec<TaskId>], from: TaskId, to: TaskId) {
+    debug_assert_ne!(from, to);
+    if !preds[to.index()].contains(&from) {
+        preds[to.index()].push(from);
+        succs[from.index()].push(to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_lang::{AlgoBuilder, OpType};
+
+    fn ring_ag(n: u32) -> AlgoSpec {
+        let mut b = AlgoBuilder::new("Ring", OpType::AllGather, n);
+        for r in 0..n {
+            let peer = (r + 1) % n;
+            for step in 0..n - 1 {
+                b.recv(r, peer, step, (r + n - step) % n);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_dag_has_chain_per_chunk() {
+        let topo = Topology::a100(1, 8);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        assert_eq!(dag.len(), 8 * 7);
+        // Each chunk has a linear chain: 7 tasks, task k depends on k-1.
+        for c in 0..8u32 {
+            let tasks = dag.chunk_tasks(ChunkId::new(c));
+            assert_eq!(tasks.len(), 7);
+            assert!(dag.preds(tasks[0]).is_empty());
+            for w in tasks.windows(2) {
+                assert_eq!(dag.preds(w[1]), &[w[0]]);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_valid() {
+        let topo = Topology::a100(2, 4);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        let order = dag.topo_order().unwrap();
+        dag.validate_order(&order).unwrap();
+    }
+
+    #[test]
+    fn rank_count_mismatch_rejected() {
+        let topo = Topology::a100(1, 4);
+        let err = DepDag::build(&ring_ag(8), &topo).unwrap_err();
+        assert!(err.to_string().contains("ranks"));
+    }
+
+    #[test]
+    fn interference_follows_topology_resources() {
+        let topo = Topology::a100(1, 8);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        // Two sends out of the same rank interfere (shared GPU TX port).
+        let same_src: Vec<TaskId> = dag
+            .tasks()
+            .iter()
+            .filter(|t| t.src == Rank::new(0))
+            .map(|t| t.id)
+            .collect();
+        assert!(same_src.len() >= 2);
+        assert!(dag.interferes(same_src[0], same_src[1]));
+        // Ring neighbours with disjoint endpoints do not interfere.
+        let t01 = dag
+            .tasks()
+            .iter()
+            .find(|t| t.src == Rank::new(0) && t.dst == Rank::new(1))
+            .unwrap();
+        let t23 = dag
+            .tasks()
+            .iter()
+            .find(|t| t.src == Rank::new(2) && t.dst == Rank::new(3))
+            .unwrap();
+        assert!(!dag.interferes(t01.id, t23.id));
+    }
+
+    #[test]
+    fn validate_order_catches_violations() {
+        let topo = Topology::a100(1, 4);
+        let dag = DepDag::build(&ring_ag(4), &topo).unwrap();
+        let mut order = dag.topo_order().unwrap();
+        // Find an edge and swap its endpoints' positions.
+        let victim = (0..dag.len() as u32)
+            .map(TaskId::new)
+            .find(|id| !dag.preds(*id).is_empty())
+            .unwrap();
+        let dep = dag.preds(victim)[0];
+        let pi = order.iter().position(|x| *x == victim).unwrap();
+        let pj = order.iter().position(|x| *x == dep).unwrap();
+        order.swap(pi, pj);
+        assert!(dag.validate_order(&order).is_err());
+    }
+
+    #[test]
+    fn validate_order_rejects_duplicates_and_short_orders() {
+        let topo = Topology::a100(1, 4);
+        let dag = DepDag::build(&ring_ag(4), &topo).unwrap();
+        let order = dag.topo_order().unwrap();
+        assert!(dag.validate_order(&order[..order.len() - 1]).is_err());
+        let mut dup = order.clone();
+        dup[0] = dup[1];
+        assert!(dag.validate_order(&dup).is_err());
+    }
+
+    #[test]
+    fn inter_node_flag_set() {
+        let topo = Topology::a100(2, 4);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        let cross = dag
+            .tasks()
+            .iter()
+            .find(|t| t.src == Rank::new(3) && t.dst == Rank::new(4))
+            .unwrap();
+        assert!(cross.inter_node);
+        let local = dag
+            .tasks()
+            .iter()
+            .find(|t| t.src == Rank::new(0) && t.dst == Rank::new(1))
+            .unwrap();
+        assert!(!local.inter_node);
+    }
+
+    #[test]
+    fn waw_ordering_for_reductions() {
+        // Two reduce deliveries into the same (rank, chunk) at different
+        // steps must be ordered.
+        let mut b = AlgoBuilder::new("red", OpType::ReduceScatter, 4);
+        b.rrc(1, 0, 0, 0); // step 0: rank1 reduces into rank0 chunk0
+        b.rrc(2, 0, 1, 0); // step 1: rank2 reduces into rank0 chunk0
+        b.rrc(3, 0, 2, 0); // step 2
+        let spec = b.build().unwrap();
+        let topo = Topology::a100(1, 4);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        let chain = dag.chunk_tasks(ChunkId::new(0));
+        assert_eq!(dag.preds(chain[1]), &[chain[0]]);
+        assert_eq!(dag.preds(chain[2]), &[chain[1]]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Error type for IR construction and validation.
+
+use std::fmt;
+
+/// Error produced while building or validating the dependency DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrError {
+    msg: String,
+}
+
+impl IrError {
+    /// Create an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, IrError>;

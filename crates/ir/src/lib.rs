@@ -1,0 +1,37 @@
+//! # rescc-ir
+//!
+//! Intermediate representation of collective algorithms: transmission
+//! tasks, the dependency DAG of §3 (data dependencies as edges,
+//! communication dependencies as an interference relation over shared
+//! contention resources), and micro-batch planning.
+//!
+//! ```
+//! use rescc_ir::DepDag;
+//! use rescc_lang::{AlgoBuilder, OpType};
+//! use rescc_topology::Topology;
+//!
+//! let mut b = AlgoBuilder::new("Ring", OpType::AllGather, 8);
+//! for r in 0..8u32 {
+//!     for step in 0..7u32 {
+//!         b.recv(r, (r + 1) % 8, step, (r + 8 - step) % 8);
+//!     }
+//! }
+//! let spec = b.build().unwrap();
+//! let dag = DepDag::build(&spec, &Topology::a100(1, 8)).unwrap();
+//! assert_eq!(dag.len(), 56);
+//! assert!(dag.topo_order().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dag;
+mod error;
+mod metrics;
+mod microbatch;
+mod task;
+
+pub use dag::DepDag;
+pub use error::{IrError, Result};
+pub use metrics::{bottleneck_resource_ns, critical_path_ns, lower_bound_ns, max_step_width};
+pub use microbatch::MicroBatchPlan;
+pub use task::{Task, TaskId};

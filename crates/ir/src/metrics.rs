@@ -1,0 +1,117 @@
+//! DAG metrics: critical path, width, and per-link serial load — the
+//! quantities that bound any schedule's completion time from below.
+//!
+//! For a single micro-batch with per-task cost `c(t)`:
+//!
+//! * no schedule can finish before the **critical path** (longest
+//!   cost-weighted chain of data dependencies), and
+//! * no schedule can finish before the **busiest conflict resource**
+//!   drains its serial load `Σ c(t) / saturation`.
+//!
+//! The test suite uses [`lower_bound_ns`] as a soundness anchor: every
+//! simulated completion must dominate it.
+
+use crate::dag::DepDag;
+use crate::task::Task;
+use rescc_topology::ResourceId;
+use std::collections::HashMap;
+
+/// Cost-weighted critical path length through the data-dependency DAG.
+pub fn critical_path_ns(dag: &DepDag, cost_ns: impl Fn(&Task) -> f64) -> f64 {
+    // topo_order yields every dependency before its dependents.
+    let order = dag.topo_order().expect("DAG is acyclic by construction");
+    let mut finish = vec![0.0f64; dag.len()];
+    let mut best = 0.0f64;
+    for id in order {
+        let t = dag.task(id);
+        let start = dag
+            .preds(id)
+            .iter()
+            .map(|p| finish[p.index()])
+            .fold(0.0, f64::max);
+        finish[id.index()] = start + cost_ns(t);
+        best = best.max(finish[id.index()]);
+    }
+    best
+}
+
+/// Serial load per conflict resource: `Σ cost / saturation`, maximized.
+pub fn bottleneck_resource_ns(dag: &DepDag, cost_ns: impl Fn(&Task) -> f64) -> f64 {
+    let mut load: HashMap<ResourceId, f64> = HashMap::new();
+    for t in dag.tasks() {
+        for r in t.conflict.iter() {
+            *load.entry(r).or_insert(0.0) += cost_ns(t);
+        }
+    }
+    load.into_iter()
+        .map(|(r, l)| l / dag.conflict_limit(r).max(1) as f64)
+        .fold(0.0, f64::max)
+}
+
+/// A lower bound on any single-micro-batch completion:
+/// `max(critical path, bottleneck resource)`.
+pub fn lower_bound_ns(dag: &DepDag, cost_ns: impl Fn(&Task) -> f64 + Copy) -> f64 {
+    critical_path_ns(dag, cost_ns).max(bottleneck_resource_ns(dag, cost_ns))
+}
+
+/// Maximum antichain-ish width proxy: the largest number of tasks sharing
+/// one step (an upper bound on useful parallelism per algorithm step).
+pub fn max_step_width(dag: &DepDag) -> usize {
+    let mut per_step: HashMap<u32, usize> = HashMap::new();
+    for t in dag.tasks() {
+        *per_step.entry(t.step.0).or_insert(0) += 1;
+    }
+    per_step.into_values().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_lang::{AlgoBuilder, OpType};
+    use rescc_topology::Topology;
+
+    fn chain_dag(n: u32) -> DepDag {
+        let mut b = AlgoBuilder::new("chain", OpType::AllGather, n);
+        for i in 0..n - 1 {
+            b.recv(i, i + 1, i, 0);
+        }
+        DepDag::build(&b.build().unwrap(), &Topology::a100(1, n)).unwrap()
+    }
+
+    #[test]
+    fn chain_critical_path_is_sum() {
+        let dag = chain_dag(4);
+        let cp = critical_path_ns(&dag, |_| 10.0);
+        assert!((cp - 30.0).abs() < 1e-9); // 3 hops × 10
+    }
+
+    #[test]
+    fn parallel_tasks_do_not_stack() {
+        // Four independent transfers: critical path = one task.
+        let mut b = AlgoBuilder::new("par", OpType::AllGather, 8);
+        for i in 0..4u32 {
+            b.recv(2 * i, 2 * i + 1, 0, 2 * i);
+        }
+        let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(1, 8)).unwrap();
+        assert!((critical_path_ns(&dag, |_| 7.0) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_counts_saturation() {
+        // Five transfers on one pair channel (saturation 4): serial load
+        // 5×c shared by 4 lanes.
+        let mut b = AlgoBuilder::new("hot", OpType::AllGather, 8);
+        for c in 0..5u32 {
+            b.recv(0, 1, 0, c);
+        }
+        let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(1, 8)).unwrap();
+        let bn = bottleneck_resource_ns(&dag, |_| 4.0);
+        assert!((bn - 5.0 * 4.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width() {
+        let dag = chain_dag(4);
+        assert_eq!(max_step_width(&dag), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Primitive fusion: `recv → send` chains collapsed into NCCL's fused
+//! primitives.
+//!
+//! When a TB's pipeline contains a receive-side slot for task A immediately
+//! followed by the send-side slot of task B with
+//!
+//! * the same chunk,
+//! * `B` consuming the data `A` delivered (`A.dst == B.src` and
+//!   `A ∈ preds(B)`),
+//!
+//! the two primitives can execute as one fused `recvCopySend` /
+//! `recvReduceSend`: the kernel forwards the incoming data without
+//! returning to the flag-wait loop or bouncing through the staging buffer,
+//! eliding the downstream primitive's startup latency α. This is exactly
+//! the primitive family NCCL uses inside ring kernels; ResCCL's generated
+//! kernels can apply it wherever the schedule places a chain's receive and
+//! forward on one TB.
+//!
+//! The pass is purely a program transformation: it marks the send slot as
+//! [`KernelSlot::fused_with_prev`], updates codegen, and reports what it
+//! found. The simulator honors the mark by skipping the fused invocation's
+//! α (the transfer itself still pays bandwidth and contention).
+
+use crate::program::{KernelProgram, Primitive};
+use rescc_ir::DepDag;
+use serde::{Deserialize, Serialize};
+
+/// What the fusion pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionStats {
+    /// `recv + send` pairs fused into `recvCopySend`.
+    pub copy_send: u32,
+    /// `recvReduceCopy + send` pairs fused into `recvReduceSend`.
+    pub reduce_send: u32,
+}
+
+impl FusionStats {
+    /// Total fused pairs.
+    pub fn total(&self) -> u32 {
+        self.copy_send + self.reduce_send
+    }
+}
+
+/// Apply the fusion pass to a generated program.
+///
+/// Fused programs execute micro-batch-major (each micro-batch walks the
+/// pipeline, pairs issuing as one `recvCopySend`), exactly like NCCL's
+/// ring kernels — the backend switches the loop order when fusing, which
+/// keeps every TB on one globally consistent execution order (the
+/// deadlock-freedom invariant).
+pub fn fuse(program: &mut KernelProgram, dag: &DepDag) -> FusionStats {
+    let mut stats = FusionStats::default();
+    // Adjacency-only: a send fuses with the slot immediately before it.
+    // Reordering slots is deliberately avoided — every TB executes in one
+    // consistent global order, which is what makes rendezvous deadlocks
+    // impossible; the chained allocation is responsible for placing
+    // transit pairs adjacently (it keys a forward just after its feeder in
+    // the adjusted global order).
+    for rank_prog in &mut program.ranks {
+        for tb in &mut rank_prog.tbs {
+            for i in 1..tb.slots.len() {
+                let (head, tail) = tb.slots.split_at_mut(i);
+                let prev = &head[i - 1];
+                let cur = &mut tail[0];
+                if cur.primitive != Primitive::Send || cur.fused_with_prev {
+                    continue;
+                }
+                let prev_is_recv = matches!(
+                    prev.primitive,
+                    Primitive::Recv | Primitive::RecvReduceCopy
+                );
+                if !prev_is_recv
+                    || prev.chunk != cur.chunk
+                    || dag.task(prev.task).dst != dag.task(cur.task).src
+                    || !dag.preds(cur.task).contains(&prev.task)
+                {
+                    continue;
+                }
+                cur.fused_with_prev = true;
+                match prev.primitive {
+                    Primitive::Recv => stats.copy_send += 1,
+                    Primitive::RecvReduceCopy => stats.reduce_send += 1,
+                    Primitive::Send => unreachable!("matched a receive"),
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ExecMode, KernelProgram, LoopOrder};
+    use rescc_alloc::TbAllocation;
+    use rescc_ir::DepDag;
+    use rescc_lang::{AlgoBuilder, OpType};
+    use rescc_sched::hpds;
+    use rescc_topology::Topology;
+
+    /// A 4-rank chain: chunk 0 travels 0→1→2→3; rank 1 and 2 both receive
+    /// and forward, so their merged TBs expose fusion pairs.
+    fn chain_program() -> (DepDag, KernelProgram) {
+        let mut b = AlgoBuilder::new("chain", OpType::AllGather, 4);
+        b.recv(0, 1, 0, 0).recv(1, 2, 1, 0).recv(2, 3, 2, 0);
+        // Make it a complete AllGather so validation holds elsewhere if
+        // needed; fusion only needs the structure.
+        let spec = b.build().unwrap();
+        let topo = Topology::a100(1, 4);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        let sched = hpds(&dag);
+        let alloc = TbAllocation::state_based(&dag, &sched);
+        let prog = KernelProgram::generate(
+            "chain",
+            &dag,
+            &alloc,
+            LoopOrder::SlotMajor,
+            ExecMode::DirectKernel,
+        );
+        (dag, prog)
+    }
+
+    #[test]
+    fn fuses_recv_then_forward_on_one_tb() {
+        let (dag, mut prog) = chain_program();
+        // Ranks 1 and 2 each have a recv slot and the dependent send slot.
+        // Whether they land on one TB depends on endpoint merging; count
+        // whatever the allocation exposes and check consistency.
+        let stats = fuse(&mut prog, &dag);
+        let marked: u32 = prog
+            .ranks
+            .iter()
+            .flat_map(|r| r.tbs.iter())
+            .flat_map(|t| t.slots.iter())
+            .filter(|s| s.fused_with_prev)
+            .count() as u32;
+        assert_eq!(stats.total(), marked);
+    }
+
+    #[test]
+    fn fusion_applies_to_any_loop_order() {
+        let (dag, prog) = chain_program();
+        let mut mbm = prog;
+        mbm.loop_order = LoopOrder::MicroBatchMajor;
+        let stats_mbm = fuse(&mut mbm, &dag);
+        let (dag2, mut slot) = chain_program();
+        let stats_slot = fuse(&mut slot, &dag2);
+        assert_eq!(stats_mbm, stats_slot);
+    }
+
+    #[test]
+    fn fused_flag_only_on_sends() {
+        let (dag, mut prog) = chain_program();
+        fuse(&mut prog, &dag);
+        for slot in prog.ranks.iter().flat_map(|r| r.tbs.iter()).flat_map(|t| t.slots.iter()) {
+            if slot.fused_with_prev {
+                assert_eq!(slot.primitive, Primitive::Send);
+            }
+        }
+    }
+}

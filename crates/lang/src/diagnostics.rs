@@ -1,0 +1,80 @@
+//! Human-friendly error rendering: point at the offending source location
+//! with a caret, the way a production compiler reports.
+//!
+//! ```text
+//! error: parse error at 4:27: expected communication type `recv` or `rrc`, found identifier `rcv`
+//!   --> <resccl>:4:27
+//!    |
+//!  4 |     transfer(r, peer, 0, r, rcv)
+//!    |                             ^
+//! ```
+
+use crate::error::LangError;
+use std::fmt::Write;
+
+/// Render `err` against its `source` text with a caret diagnostic.
+/// Evaluation errors (which carry no span) render as a plain message.
+pub fn render_diagnostic(err: &LangError, source: &str, filename: &str) -> String {
+    let (line, col) = match err {
+        LangError::Lex { line, col, .. } | LangError::Parse { line, col, .. } => (*line, *col),
+        LangError::Eval { .. } => {
+            return format!("error: {err}\n");
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "error: {err}");
+    let _ = writeln!(out, "  --> {filename}:{line}:{col}");
+    if let Some(text) = source.lines().nth(line.saturating_sub(1) as usize) {
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let _ = writeln!(out, " {pad} |");
+        let _ = writeln!(out, " {gutter} | {text}");
+        let caret_pad = " ".repeat(col.saturating_sub(1) as usize);
+        let _ = writeln!(out, " {pad} | {caret_pad}^");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn caret_points_at_the_error() {
+        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, rcv)\n";
+        let err = parse(src).unwrap_err();
+        let rendered = render_diagnostic(&err, src, "<test>");
+        assert!(rendered.contains("--> <test>:2:"), "{rendered}");
+        assert!(rendered.contains("transfer(0, 1, 0, 0, rcv)"));
+        // The caret line exists and is under the source line.
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.trim_end().ends_with('^'), "{rendered}");
+        // Caret column: `rcv` starts at column 26.
+        let col = caret_line.find('^').unwrap();
+        let src_line_start = rendered
+            .lines()
+            .find(|l| l.contains("transfer"))
+            .unwrap()
+            .find("transfer")
+            .unwrap();
+        assert!(col > src_line_start, "{rendered}");
+    }
+
+    #[test]
+    fn eval_errors_render_plainly() {
+        let err = LangError::eval("division by zero");
+        let rendered = render_diagnostic(&err, "x = 1/0", "<test>");
+        assert!(rendered.starts_with("error:"));
+        assert!(!rendered.contains("-->"));
+    }
+
+    #[test]
+    fn lex_errors_render_with_location() {
+        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 4 @ 2\n";
+        let err = crate::lexer::lex(src).unwrap_err();
+        let rendered = render_diagnostic(&err, src, "algo.rcl");
+        assert!(rendered.contains("algo.rcl:2:"));
+        assert!(rendered.contains("x = 4 @ 2"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Evaluator: executes a parsed ResCCLang [`Program`] and collects the
+//! declared [`TransferRec`]s into a validated [`AlgoSpec`].
+//!
+//! Semantics follow Python where the DSL borrows its syntax:
+//! * one flat function scope — loop variables stay bound after the loop,
+//! * `/` is floor division, `%` always yields a non-negative result
+//!   (so `(offset - step) % N` from Fig. 5(a) works as the paper intends),
+//! * `range(end)`, `range(start, end)` and `range(start, end, step)`.
+//!
+//! The evaluator enforces resource bounds so that a buggy or adversarial
+//! program cannot hang the compiler: at most [`MAX_TRANSFERS`] transfers and
+//! [`MAX_ITERATIONS`] total loop iterations.
+
+use crate::ast::{BinOp, Exp, Program, Stat};
+use crate::error::{LangError, Result};
+use crate::spec::{AlgoSpec, TransferRec};
+use rescc_topology::{ChunkId, Rank, Step};
+use std::collections::HashMap;
+
+/// Upper bound on the number of transfers a single program may declare.
+pub const MAX_TRANSFERS: usize = 8_000_000;
+/// Upper bound on total loop iterations during evaluation.
+pub const MAX_ITERATIONS: u64 = 200_000_000;
+
+/// Evaluate a program into a validated [`AlgoSpec`].
+pub fn eval(program: &Program) -> Result<AlgoSpec> {
+    let n_ranks = program.n_ranks()?;
+    let op = program.op_type()?;
+    let mut env: HashMap<String, i64> = HashMap::new();
+    // Integer header parameters are visible as variables in the body.
+    for p in &program.params {
+        if let crate::ast::ParamValue::Int(v) = p.value {
+            env.insert(p.name.clone(), v);
+        }
+    }
+    let mut cx = EvalCx {
+        env,
+        transfers: Vec::new(),
+        iterations: 0,
+    };
+    cx.run_block(&program.body)?;
+    AlgoSpec::new(program.algo_name(), op, n_ranks, cx.transfers)
+}
+
+/// Parse source text and evaluate it in one call.
+pub fn eval_source(src: &str) -> Result<AlgoSpec> {
+    let program = crate::parser::parse(src)?;
+    eval(&program)
+}
+
+struct EvalCx {
+    env: HashMap<String, i64>,
+    transfers: Vec<TransferRec>,
+    iterations: u64,
+}
+
+impl EvalCx {
+    fn run_block(&mut self, stats: &[Stat]) -> Result<()> {
+        for s in stats {
+            self.run_stat(s)?;
+        }
+        Ok(())
+    }
+
+    fn run_stat(&mut self, stat: &Stat) -> Result<()> {
+        match stat {
+            Stat::Assign { name, value } => {
+                let v = self.eval_exp(value)?;
+                self.env.insert(name.clone(), v);
+                Ok(())
+            }
+            Stat::For { var, range, body } => {
+                let (start, end, step) = self.eval_range(range)?;
+                let mut i = start;
+                loop {
+                    if (step > 0 && i >= end) || (step < 0 && i <= end) {
+                        break;
+                    }
+                    self.iterations += 1;
+                    if self.iterations > MAX_ITERATIONS {
+                        return Err(LangError::eval(format!(
+                            "loop iteration budget exceeded ({MAX_ITERATIONS}); \
+                             the program likely diverges"
+                        )));
+                    }
+                    self.env.insert(var.clone(), i);
+                    self.run_block(body)?;
+                    i += step;
+                }
+                Ok(())
+            }
+            Stat::Transfer { args, comm } => {
+                let src = self.eval_exp(&args[0])?;
+                let dst = self.eval_exp(&args[1])?;
+                let step = self.eval_exp(&args[2])?;
+                let chunk = self.eval_exp(&args[3])?;
+                for (what, v) in [("srcRank", src), ("dstRank", dst), ("step", step), ("chunkId", chunk)]
+                {
+                    if v < 0 || v > u32::MAX as i64 {
+                        return Err(LangError::eval(format!(
+                            "transfer {what} evaluated to {v}, outside the valid range"
+                        )));
+                    }
+                }
+                if self.transfers.len() >= MAX_TRANSFERS {
+                    return Err(LangError::eval(format!(
+                        "transfer budget exceeded ({MAX_TRANSFERS})"
+                    )));
+                }
+                self.transfers.push(TransferRec {
+                    src: Rank::new(src as u32),
+                    dst: Rank::new(dst as u32),
+                    step: Step::new(step as u32),
+                    chunk: ChunkId::new(chunk as u32),
+                    comm: *comm,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_range(&mut self, range: &[Exp]) -> Result<(i64, i64, i64)> {
+        let vals: Vec<i64> = range
+            .iter()
+            .map(|e| self.eval_exp(e))
+            .collect::<Result<_>>()?;
+        let (start, end, step) = match vals.as_slice() {
+            [end] => (0, *end, 1),
+            [start, end] => (*start, *end, 1),
+            [start, end, step] => (*start, *end, *step),
+            _ => unreachable!("parser guarantees 1..=3 range args"),
+        };
+        if step == 0 {
+            return Err(LangError::eval("range() step must not be zero"));
+        }
+        Ok((start, end, step))
+    }
+
+    fn eval_exp(&self, exp: &Exp) -> Result<i64> {
+        match exp {
+            Exp::Int(v) => Ok(*v),
+            Exp::Var(name) => self.env.get(name).copied().ok_or_else(|| {
+                LangError::eval(format!("undefined variable `{name}`"))
+            }),
+            Exp::Bin { op, lhs, rhs } => {
+                let l = self.eval_exp(lhs)?;
+                let r = self.eval_exp(rhs)?;
+                match op {
+                    BinOp::Add => l.checked_add(r),
+                    BinOp::Sub => l.checked_sub(r),
+                    BinOp::Mul => l.checked_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(LangError::eval("division by zero"));
+                        }
+                        Some(l.div_euclid(r))
+                    }
+                    BinOp::Mod => {
+                        if r == 0 {
+                            return Err(LangError::eval("modulo by zero"));
+                        }
+                        Some(l.rem_euclid(r))
+                    }
+                }
+                .ok_or_else(|| LangError::eval("integer overflow in expression"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CommType, OpType};
+
+    const RING_AG_4: &str = r#"
+def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
+    N = nRanks
+    for r in range(0, N):
+        peer = (r+1)%N
+        for step in range(0, N-1):
+            transfer(r, peer, step, (r-step)%N, recv)
+"#;
+
+    #[test]
+    fn ring_allgather_produces_n_times_n_minus_1_transfers() {
+        let spec = eval_source(RING_AG_4).unwrap();
+        assert_eq!(spec.op(), OpType::AllGather);
+        assert_eq!(spec.transfers().len(), 4 * 3);
+        // Every rank sends only to its ring successor.
+        for t in spec.transfers() {
+            assert_eq!(t.dst.0, (t.src.0 + 1) % 4);
+            assert_eq!(t.comm, CommType::Recv);
+        }
+    }
+
+    #[test]
+    fn python_modulo_semantics() {
+        // (0 - 1) % 4 must be 3, not -1.
+        let src = r#"
+def ResCCLAlgo(nRanks=4, OpType="Allgather"):
+    transfer(0, (0-1)%4, 0, 0, recv)
+"#;
+        let spec = eval_source(src).unwrap();
+        assert_eq!(spec.transfers()[0].dst.0, 3);
+    }
+
+    #[test]
+    fn floor_division() {
+        let src = r#"
+def ResCCLAlgo(nRanks=4, OpType="Allgather"):
+    x = (0-7)/2
+    transfer(0, x+5, 0, 0, recv)
+"#;
+        // (-7).div_euclid(2) = -4; -4 + 5 = 1
+        let spec = eval_source(src).unwrap();
+        assert_eq!(spec.transfers()[0].dst.0, 1);
+    }
+
+    #[test]
+    fn params_visible_as_variables() {
+        let src = r#"
+def ResCCLAlgo(nRanks=8, GPUPerNode=4, OpType="Allgather"):
+    transfer(0, GPUPerNode, 0, 0, recv)
+"#;
+        let spec = eval_source(src).unwrap();
+        assert_eq!(spec.transfers()[0].dst.0, 4);
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, ghost, 0, 0, recv)\n";
+        let err = eval_source(src).unwrap_err();
+        assert!(err.to_string().contains("undefined variable `ghost`"));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1 / 0\n";
+        assert!(eval_source(src).unwrap_err().to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn negative_transfer_argument_errors() {
+        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 0-1, 0, 0, recv)\n";
+        let err = eval_source(src).unwrap_err();
+        assert!(err.to_string().contains("dstRank"));
+    }
+
+    #[test]
+    fn zero_step_range_errors() {
+        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    for i in range(0, 4, 0):\n        x = i\n";
+        assert!(eval_source(src)
+            .unwrap_err()
+            .to_string()
+            .contains("step must not be zero"));
+    }
+
+    #[test]
+    fn loop_variable_visible_after_loop() {
+        let src = r#"
+def ResCCLAlgo(nRanks=4, OpType="Allgather"):
+    for i in range(0, 3):
+        x = i
+    transfer(0, i, 0, 0, recv)
+"#;
+        let spec = eval_source(src).unwrap();
+        assert_eq!(spec.transfers()[0].dst.0, 2);
+    }
+
+    #[test]
+    fn descending_range() {
+        let src = r#"
+def ResCCLAlgo(nRanks=8, OpType="Allgather"):
+    for i in range(3, 0, 0-1):
+        transfer(0, i, 3-i, 0, recv)
+"#;
+        let spec = eval_source(src).unwrap();
+        let dsts: Vec<u32> = spec.transfers().iter().map(|t| t.dst.0).collect();
+        assert_eq!(dsts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn missing_nranks_errors() {
+        let src = "def ResCCLAlgo(OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n";
+        assert!(eval_source(src)
+            .unwrap_err()
+            .to_string()
+            .contains("nRanks"));
+    }
+
+    #[test]
+    fn missing_optype_errors() {
+        let src = "def ResCCLAlgo(nRanks=2):\n    transfer(0, 1, 0, 0, recv)\n";
+        assert!(eval_source(src)
+            .unwrap_err()
+            .to_string()
+            .contains("OpType"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The ResCCLang lexer.
+//!
+//! Python-style tokenization: comments start with `#`, logical lines end
+//! with [`Tok::Newline`], and indentation changes produce [`Tok::Indent`] /
+//! [`Tok::Dedent`] pairs. Blank and comment-only lines are skipped entirely
+//! and never affect indentation.
+
+use crate::error::{LangError, Result};
+use crate::token::{Tok, Token};
+
+/// Tokenize a complete ResCCLang source text.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    indents: Vec<u32>,
+    line_no: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            tokens: Vec::new(),
+            indents: vec![0],
+            line_no: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let lines: Vec<&str> = self.src.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            self.line_no = (i + 1) as u32;
+            self.lex_line(raw)?;
+        }
+        // Close all open blocks.
+        let line = self.line_no + 1;
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.tokens.push(Token {
+                tok: Tok::Dedent,
+                line,
+                col: 1,
+            });
+        }
+        self.tokens.push(Token {
+            tok: Tok::Eof,
+            line,
+            col: 1,
+        });
+        Ok(self.tokens)
+    }
+
+    fn lex_line(&mut self, raw: &str) -> Result<()> {
+        // Measure indentation (tabs count as 4 columns, per common style).
+        let mut indent = 0u32;
+        let mut rest = raw;
+        for ch in raw.chars() {
+            match ch {
+                ' ' => indent += 1,
+                '\t' => indent += 4,
+                _ => break,
+            }
+            rest = &rest[ch.len_utf8()..];
+        }
+        let body = rest.trim_end();
+        if body.is_empty() || body.starts_with('#') {
+            return Ok(()); // blank / comment-only line
+        }
+
+        self.handle_indent(indent)?;
+        self.lex_tokens(body, indent + 1)?;
+        self.tokens.push(Token {
+            tok: Tok::Newline,
+            line: self.line_no,
+            col: (raw.trim_end().len() + 1) as u32,
+        });
+        Ok(())
+    }
+
+    fn handle_indent(&mut self, indent: u32) -> Result<()> {
+        let current = *self.indents.last().expect("indent stack never empty");
+        if indent > current {
+            self.indents.push(indent);
+            self.tokens.push(Token {
+                tok: Tok::Indent,
+                line: self.line_no,
+                col: 1,
+            });
+        } else if indent < current {
+            while *self.indents.last().unwrap() > indent {
+                self.indents.pop();
+                self.tokens.push(Token {
+                    tok: Tok::Dedent,
+                    line: self.line_no,
+                    col: 1,
+                });
+            }
+            if *self.indents.last().unwrap() != indent {
+                return Err(LangError::lex(
+                    self.line_no,
+                    1,
+                    format!(
+                        "inconsistent dedent to column {indent}; no enclosing block at that level"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn lex_tokens(&mut self, body: &str, start_col: u32) -> Result<()> {
+        let bytes = body.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let col = start_col + i as u32;
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' => {
+                    i += 1;
+                }
+                '#' => break, // trailing comment
+                '(' => self.push(Tok::LParen, col, &mut i, 1),
+                ')' => self.push(Tok::RParen, col, &mut i, 1),
+                ',' => self.push(Tok::Comma, col, &mut i, 1),
+                ':' => self.push(Tok::Colon, col, &mut i, 1),
+                '=' => self.push(Tok::Assign, col, &mut i, 1),
+                '+' => self.push(Tok::Plus, col, &mut i, 1),
+                '-' => self.push(Tok::Minus, col, &mut i, 1),
+                '*' => self.push(Tok::Star, col, &mut i, 1),
+                '/' => self.push(Tok::Slash, col, &mut i, 1),
+                '%' => self.push(Tok::Percent, col, &mut i, 1),
+                '"' | '\'' => {
+                    let quote = c;
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] as char != quote {
+                        j += 1;
+                    }
+                    if j == bytes.len() {
+                        return Err(LangError::lex(self.line_no, col, "unterminated string"));
+                    }
+                    let s = body[start..j].to_string();
+                    self.tokens.push(Token {
+                        tok: Tok::Str(s),
+                        line: self.line_no,
+                        col,
+                    });
+                    i = j + 1;
+                }
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &body[start..i];
+                    let val: i64 = text.parse().map_err(|_| {
+                        LangError::lex(self.line_no, col, format!("integer `{text}` out of range"))
+                    })?;
+                    self.tokens.push(Token {
+                        tok: Tok::Int(val),
+                        line: self.line_no,
+                        col,
+                    });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let word = &body[start..i];
+                    let tok = match word {
+                        "def" => Tok::Def,
+                        "for" => Tok::For,
+                        "in" => Tok::In,
+                        "range" => Tok::Range,
+                        "transfer" => Tok::Transfer,
+                        _ => Tok::Ident(word.to_string()),
+                    };
+                    self.tokens.push(Token {
+                        tok,
+                        line: self.line_no,
+                        col,
+                    });
+                }
+                other => {
+                    return Err(LangError::lex(
+                        self.line_no,
+                        col,
+                        format!("unexpected character `{other}`"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, tok: Tok, col: u32, i: &mut usize, width: usize) {
+        self.tokens.push(Token {
+            tok,
+            line: self.line_no,
+            col,
+        });
+        *i += width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 4\n"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(4),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_operators() {
+        let ks = kinds("for r in range(0, N):\n    transfer(r, (r+1)%N, 0, r, recv)\n");
+        assert!(ks.contains(&Tok::For));
+        assert!(ks.contains(&Tok::Range));
+        assert!(ks.contains(&Tok::Transfer));
+        assert!(ks.contains(&Tok::Percent));
+        assert!(ks.contains(&Tok::Indent));
+        assert!(ks.contains(&Tok::Dedent));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_do_not_dedent() {
+        let src = "for r in range(0, 4):\n    x = 1\n\n# comment at col 0\n    y = 2\n";
+        let ks = kinds(src);
+        let dedents = ks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 1, "only the final implicit dedent");
+    }
+
+    #[test]
+    fn nested_blocks_emit_matched_indents() {
+        let src = "for a in range(0, 2):\n    for b in range(0, 2):\n        x = a\n";
+        let ks = kinds(src);
+        let ind = ks.iter().filter(|t| **t == Tok::Indent).count();
+        let ded = ks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(ind, 2);
+        assert_eq!(ded, 2);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds("name = \"Allreduce\"\n"),
+            vec![
+                Tok::Ident("name".into()),
+                Tok::Assign,
+                Tok::Str("Allreduce".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_character() {
+        let err = lex("x = 4 @ 3\n").unwrap_err();
+        assert!(matches!(err, LangError::Lex { .. }));
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dedent() {
+        let src = "for a in range(0, 2):\n        x = 1\n    y = 2\n";
+        let err = lex(src).unwrap_err();
+        assert!(err.to_string().contains("inconsistent dedent"));
+    }
+
+    #[test]
+    fn trailing_comment_is_ignored() {
+        let ks = kinds("x = 1  # set x\n");
+        assert_eq!(
+            ks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+}

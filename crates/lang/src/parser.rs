@@ -1,0 +1,398 @@
+//! Recursive-descent parser for ResCCLang.
+//!
+//! Implements the BNF of Appendix B:
+//!
+//! ```text
+//! def       ::= funcName ( paramList ) : stat
+//! paramlist ::= name = (digit | string) , ...
+//! stat      ::= assign | for | transfer
+//! assign    ::= id = exp
+//! for       ::= for id in range ( exp+ ) : stat
+//! transfer  ::= transfer ( exp*, commType )
+//! exp       ::= digit | id | exp mop exp | ( exp )
+//! mop       ::= + | - | * | / | %
+//! ```
+
+use crate::ast::{BinOp, CommType, Exp, Param, ParamValue, Program, Stat};
+use crate::error::{LangError, Result};
+use crate::lexer::lex;
+use crate::token::{Tok, Token};
+
+/// Parse a full ResCCLang source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<Token> {
+        let t = self.next();
+        if t.tok == want {
+            Ok(t)
+        } else {
+            Err(LangError::parse(
+                t.line,
+                t.col,
+                format!("expected {want}, found {}", t.tok),
+            ))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if &self.peek().tok == want {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        self.expect(Tok::Def)?;
+        let func_name = self.ident("function name")?;
+        self.expect(Tok::LParen)?;
+        let params = self.param_list()?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::Newline)?;
+        let body = self.block()?;
+        // Nothing but EOF may follow the function body.
+        let t = self.next();
+        if t.tok != Tok::Eof {
+            return Err(LangError::parse(
+                t.line,
+                t.col,
+                format!("unexpected {} after function body", t.tok),
+            ));
+        }
+        if body.is_empty() {
+            return Err(LangError::parse(1, 1, "empty function body"));
+        }
+        Ok(Program {
+            func_name,
+            params,
+            body,
+        })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(s) => Ok(s),
+            other => Err(LangError::parse(
+                t.line,
+                t.col,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>> {
+        let mut params = Vec::new();
+        if self.peek().tok == Tok::RParen {
+            return Ok(params);
+        }
+        loop {
+            let name = self.ident("parameter name")?;
+            self.expect(Tok::Assign)?;
+            let t = self.next();
+            let value = match t.tok {
+                Tok::Int(v) => ParamValue::Int(v),
+                Tok::Str(s) => ParamValue::Str(s),
+                other => {
+                    return Err(LangError::parse(
+                        t.line,
+                        t.col,
+                        format!("parameter `{name}` must be an integer or string, found {other}"),
+                    ))
+                }
+            };
+            params.push(Param { name, value });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    /// An indented block: INDENT stat+ DEDENT.
+    fn block(&mut self) -> Result<Vec<Stat>> {
+        self.expect(Tok::Indent)?;
+        let mut stats = Vec::new();
+        loop {
+            match self.peek().tok {
+                Tok::Dedent => {
+                    self.next();
+                    break;
+                }
+                Tok::Eof => {
+                    let t = self.peek().clone();
+                    return Err(LangError::parse(t.line, t.col, "unterminated block"));
+                }
+                _ => stats.push(self.stat()?),
+            }
+        }
+        Ok(stats)
+    }
+
+    fn stat(&mut self) -> Result<Stat> {
+        match self.peek().tok.clone() {
+            Tok::For => self.for_stat(),
+            Tok::Transfer => self.transfer_stat(),
+            Tok::Ident(_) => self.assign_stat(),
+            other => {
+                let t = self.peek().clone();
+                Err(LangError::parse(
+                    t.line,
+                    t.col,
+                    format!("expected a statement (assignment, for, transfer), found {other}"),
+                ))
+            }
+        }
+    }
+
+    fn assign_stat(&mut self) -> Result<Stat> {
+        let name = self.ident("assignment target")?;
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        self.expect(Tok::Newline)?;
+        Ok(Stat::Assign { name, value })
+    }
+
+    fn for_stat(&mut self) -> Result<Stat> {
+        self.expect(Tok::For)?;
+        let var = self.ident("loop variable")?;
+        self.expect(Tok::In)?;
+        self.expect(Tok::Range)?;
+        self.expect(Tok::LParen)?;
+        let mut range = vec![self.expr()?];
+        while self.eat(&Tok::Comma) {
+            range.push(self.expr()?);
+        }
+        if range.len() > 3 {
+            let t = self.peek().clone();
+            return Err(LangError::parse(
+                t.line,
+                t.col,
+                format!("range() takes 1..=3 arguments, got {}", range.len()),
+            ));
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::Newline)?;
+        let body = self.block()?;
+        Ok(Stat::For { var, range, body })
+    }
+
+    fn transfer_stat(&mut self) -> Result<Stat> {
+        let kw = self.expect(Tok::Transfer)?;
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        for i in 0..4 {
+            args.push(self.expr()?);
+            if i < 3 {
+                self.expect(Tok::Comma)?;
+            }
+        }
+        self.expect(Tok::Comma)?;
+        let comm = match self.next() {
+            Token {
+                tok: Tok::Ident(s), ..
+            } if s == "recv" => CommType::Recv,
+            Token {
+                tok: Tok::Ident(s), ..
+            } if s == "rrc" => CommType::Rrc,
+            t => {
+                return Err(LangError::parse(
+                    t.line,
+                    t.col,
+                    format!("expected communication type `recv` or `rrc`, found {}", t.tok),
+                ))
+            }
+        };
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Newline)?;
+        let args: [Exp; 4] = args
+            .try_into()
+            .map_err(|_| LangError::parse(kw.line, kw.col, "transfer() needs 4 expressions"))?;
+        Ok(Stat::Transfer { args, comm })
+    }
+
+    /// Expression with precedence: `*`, `/`, `%` bind tighter than `+`, `-`.
+    fn expr(&mut self) -> Result<Exp> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            lhs = Exp::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Exp> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor()?;
+            lhs = Exp::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Exp> {
+        let t = self.next();
+        match t.tok {
+            Tok::Int(v) => Ok(Exp::Int(v)),
+            Tok::Ident(s) => Ok(Exp::Var(s)),
+            Tok::Minus => {
+                // Unary minus: -x parses as (0 - x).
+                let inner = self.factor()?;
+                Ok(Exp::bin(BinOp::Sub, Exp::Int(0), inner))
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(LangError::parse(
+                t.line,
+                t.col,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{OpType, Stat};
+
+    const RING_AG: &str = r#"
+def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
+    N = 4
+    for r in range(0, N):
+        offset = r
+        peer = (r+1)%N
+        for step in range(0, N-1):
+            transfer(r, peer, step, (offset-step)%N, recv)
+"#;
+
+    #[test]
+    fn parses_ring_allgather() {
+        let p = parse(RING_AG).unwrap();
+        assert_eq!(p.func_name, "ResCCLAlgo");
+        assert_eq!(p.n_ranks().unwrap(), 4);
+        assert_eq!(p.op_type().unwrap(), OpType::AllGather);
+        assert_eq!(p.algo_name(), "Ring");
+        assert_eq!(p.body.len(), 2); // N = 4 and the outer for
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1 + 2 * 3\n")
+            .unwrap();
+        match &p.body[0] {
+            Stat::Assign { value, .. } => {
+                // 1 + (2*3)
+                match value {
+                    Exp::Bin { op: BinOp::Add, rhs, .. } => {
+                        assert!(matches!(**rhs, Exp::Bin { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("wrong tree: {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expression() {
+        let p = parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = (1 + 2) * 3\n")
+            .unwrap();
+        match &p.body[0] {
+            Stat::Assign { value, .. } => {
+                assert!(matches!(value, Exp::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let p = parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = -3\n").unwrap();
+        match &p.body[0] {
+            Stat::Assign { value, .. } => {
+                assert_eq!(*value, Exp::bin(BinOp::Sub, Exp::Int(0), Exp::Int(3)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_transfer_with_bad_comm_type() {
+        let src =
+            "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, sendrecv)\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("communication type"));
+    }
+
+    #[test]
+    fn rejects_range_with_too_many_args() {
+        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    for i in range(0, 1, 2, 3):\n        x = 1\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("range()"));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let err = parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_statement_outside_function() {
+        let err = parse("x = 4\n").unwrap_err();
+        assert!(err.to_string().contains("expected def"));
+    }
+
+    #[test]
+    fn range_with_single_argument() {
+        let p = parse(
+            "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    for i in range(4):\n        x = i\n",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stat::For { range, .. } => assert_eq!(range.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

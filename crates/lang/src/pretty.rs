@@ -1,0 +1,116 @@
+//! Pretty-printer: renders a [`Program`] back to canonical ResCCLang text.
+//!
+//! `parse(pretty(p)) == p` holds for every well-formed program (verified by
+//! a property test), which makes the printer usable for program storage and
+//! for emitting the algorithm header of generated kernels.
+
+use crate::ast::{BinOp, Exp, Param, ParamValue, Program, Stat};
+use std::fmt::Write;
+
+/// Render a program as canonical DSL text.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = program.params.iter().map(render_param).collect();
+    let _ = writeln!(out, "def {}({}):", program.func_name, params.join(", "));
+    for stat in &program.body {
+        render_stat(&mut out, stat, 1);
+    }
+    out
+}
+
+fn render_param(p: &Param) -> String {
+    match &p.value {
+        ParamValue::Int(v) => format!("{}={}", p.name, v),
+        ParamValue::Str(s) => format!("{}=\"{}\"", p.name, s),
+    }
+}
+
+fn render_stat(out: &mut String, stat: &Stat, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match stat {
+        Stat::Assign { name, value } => {
+            let _ = writeln!(out, "{pad}{name} = {}", render_exp(value, 0));
+        }
+        Stat::For { var, range, body } => {
+            let args: Vec<String> = range.iter().map(|e| render_exp(e, 0)).collect();
+            let _ = writeln!(out, "{pad}for {var} in range({}):", args.join(", "));
+            for s in body {
+                render_stat(out, s, depth + 1);
+            }
+        }
+        Stat::Transfer { args, comm } => {
+            let rendered: Vec<String> = args.iter().map(|e| render_exp(e, 0)).collect();
+            let _ = writeln!(out, "{pad}transfer({}, {})", rendered.join(", "), comm);
+        }
+    }
+}
+
+/// Render with minimal parentheses. `min_prec` is the binding strength of
+/// the surrounding context: 0 = statement, 1 = additive operand,
+/// 2 = multiplicative operand.
+fn render_exp(exp: &Exp, min_prec: u8) -> String {
+    match exp {
+        Exp::Int(v) => v.to_string(),
+        Exp::Var(name) => name.clone(),
+        Exp::Bin { op, lhs, rhs } => {
+            let prec = match op {
+                BinOp::Add | BinOp::Sub => 1,
+                BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+            };
+            // Right operand of -, / and % needs parens at equal precedence
+            // (a - (b - c) != a - b - c), so require strictly higher there.
+            let s = format!(
+                "{}{}{}",
+                render_exp(lhs, prec),
+                op.symbol(),
+                render_exp(rhs, prec + 1)
+            );
+            if prec < min_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const HM_HEADER: &str = r#"
+def ResCCLAlgo(nRanks=8, nChannels=4, nWarps=16, AlgoName="HM", OpType="Allreduce", GPUPerNode=4, NICPerNode=4):
+    nNodes = 2
+    for n in range(0, nNodes):
+        for r in range(0, 4):
+            transfer(4*n+r, (r+1)%4+4*n, 0, r, rrc)
+"#;
+
+    #[test]
+    fn roundtrip_preserves_ast() {
+        let p1 = parse(HM_HEADER).unwrap();
+        let text = pretty(&p1);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn parenthesization_is_minimal_but_correct() {
+        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    x = (1+2)*3-4%(5-1)\n";
+        let p1 = parse(src).unwrap();
+        let text = pretty(&p1);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p1, p2, "reparsed pretty output differs:\n{text}");
+    }
+
+    #[test]
+    fn subtraction_associativity_kept() {
+        // a - (b - c) must keep its parens.
+        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    x = 9-(5-2)\n";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+        assert!(pretty(&p1).contains("9-(5-2)"));
+    }
+}

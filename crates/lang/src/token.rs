@@ -1,0 +1,96 @@
+//! Tokens of ResCCLang.
+//!
+//! ResCCLang is the Python-flavoured DSL of Appendix B: block structure is
+//! expressed through indentation, so the lexer emits synthetic
+//! [`Tok::Indent`] / [`Tok::Dedent`] tokens exactly like CPython's tokenizer.
+
+use std::fmt;
+
+/// A lexical token together with its source position (1-based line/column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// `def`
+    Def,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `range`
+    Range,
+    /// `transfer`
+    Transfer,
+    /// An identifier (including parameter names such as `nRanks`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal, quotes stripped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation level (opens a block).
+    Indent,
+    /// Decrease of indentation level (closes a block).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Def => write!(f, "def"),
+            Tok::For => write!(f, "for"),
+            Tok::In => write!(f, "in"),
+            Tok::Range => write!(f, "range"),
+            Tok::Transfer => write!(f, "transfer"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Newline => write!(f, "newline"),
+            Tok::Indent => write!(f, "indent"),
+            Tok::Dedent => write!(f, "dedent"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}

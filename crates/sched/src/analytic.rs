@@ -1,0 +1,182 @@
+//! Analytic cost model of §3: closed-form link execution times under the
+//! three execution granularities (Eq. 3, 4, 5) and their asymptotic
+//! comparison (Eq. 6).
+//!
+//! These formulas are not used by the runtime scheduler — the simulator
+//! measures real times — but they predict which granularity wins and are
+//! cross-checked against simulation in the test suite.
+
+use rescc_topology::LinkParams;
+
+/// Per-link workload description: the tasks a single link carries during
+/// one micro-batch, with their data-dependency bubble (stall) estimates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkLoad {
+    /// Cost parameters of the link.
+    pub params: LinkParams,
+    /// Chunk size in bytes.
+    pub chunk_bytes: u64,
+    /// Bubble time (ns) each of the link's `m` tasks incurs per micro-batch
+    /// under lazy execution; `bubbles.len() == m`.
+    pub bubbles_ns: Vec<f64>,
+}
+
+impl LinkLoad {
+    /// Number of tasks per micro-batch on this link.
+    pub fn m(&self) -> usize {
+        self.bubbles_ns.len()
+    }
+
+    /// `α + c·β` for one task.
+    pub fn task_cost_ns(&self) -> f64 {
+        self.params.serial_cost_ns(self.chunk_bytes)
+    }
+}
+
+/// Eq. (3) — algorithm-level execution: the full per-micro-batch cost
+/// (tasks + bubbles) repeats `n` times.
+pub fn algorithm_level_time_ns(n: u32, load: &LinkLoad) -> f64 {
+    let per_mb: f64 = load
+        .bubbles_ns
+        .iter()
+        .map(|b| load.task_cost_ns() + b)
+        .sum();
+    n as f64 * per_mb
+}
+
+/// Eq. (4) — stage-level execution with `stages` parallel stages on this
+/// link. Each stage `k` carries `m_k` of the link's tasks; running `z_k`
+/// stages concurrently over one link multiplies task cost by `z_k` and adds
+/// the contention penalty `γ·L(z_k)`. The link finishes with its slowest
+/// stage.
+pub fn stage_level_time_ns(n: u32, load: &LinkLoad, stages: &[Vec<usize>]) -> f64 {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let z = stages.len() as u32;
+    let penalty = load.params.gamma_ns * load.params.contention_penalty(z.max(
+        load.params.saturation_tbs, // z_k counts extra concurrency beyond the base TB
+    ));
+    stages
+        .iter()
+        .map(|task_idxs| {
+            let sum: f64 = task_idxs
+                .iter()
+                .map(|&j| {
+                    z as f64 * load.task_cost_ns() + penalty + load.bubbles_ns[j]
+                })
+                .sum();
+            n as f64 * sum
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Eq. (5) — task-level execution: a one-time pipeline fill `t_load`, the
+/// contention-free serial stream of `n·m` task invocations, plus only the
+/// residual bubbles that pipelining could not mask.
+pub fn task_level_time_ns(
+    n: u32,
+    load: &LinkLoad,
+    t_load_ns: f64,
+    residual_bubbles_ns: &[f64],
+) -> f64 {
+    assert!(
+        residual_bubbles_ns.len() <= load.m(),
+        "m' ≤ m (Eq. 5): residual bubbles cannot exceed original bubbles"
+    );
+    let stream = n as f64 * load.m() as f64 * load.task_cost_ns();
+    let bubbles: f64 = n as f64 * residual_bubbles_ns.iter().sum::<f64>();
+    t_load_ns + stream + bubbles
+}
+
+/// Eq. (6) — the n→∞ cost ratio `(T_A − base) : (T_S − base) : (T_P − base)`
+/// per micro-batch, where `base = m·(α+c·β)` is the irreducible transfer
+/// work. Returns the three per-micro-batch *overhead* terms
+/// `(Σ B_j, Σ [γL+B_j], Σ B'_j)`; smaller is better.
+pub fn asymptotic_overheads(
+    load: &LinkLoad,
+    stages: &[Vec<usize>],
+    residual_bubbles_ns: &[f64],
+) -> (f64, f64, f64) {
+    let t_a: f64 = load.bubbles_ns.iter().sum();
+    let z = stages.len() as u32;
+    let penalty = load.params.gamma_ns
+        * load
+            .params
+            .contention_penalty(z.max(load.params.saturation_tbs));
+    let t_s: f64 = stages
+        .iter()
+        .map(|task_idxs| {
+            task_idxs
+                .iter()
+                .map(|&j| penalty + load.bubbles_ns[j])
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max);
+    let t_p: f64 = residual_bubbles_ns.iter().sum();
+    (t_a, t_s, t_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load() -> LinkLoad {
+        LinkLoad {
+            params: LinkParams::new(25.0, 10.0, 4),
+            chunk_bytes: 1 << 20,
+            bubbles_ns: vec![20_000.0, 15_000.0, 0.0, 30_000.0],
+        }
+    }
+
+    #[test]
+    fn algorithm_level_scales_linearly_in_n() {
+        let l = load();
+        let t1 = algorithm_level_time_ns(1, &l);
+        let t10 = algorithm_level_time_ns(10, &l);
+        assert!((t10 / t1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_level_beats_algorithm_level_for_large_n() {
+        let l = load();
+        // Pipelining masks all bubbles; fill cost is one full micro-batch.
+        let fill = algorithm_level_time_ns(1, &l);
+        let n = 64;
+        let tp = task_level_time_ns(n, &l, fill, &[]);
+        let ta = algorithm_level_time_ns(n, &l);
+        assert!(tp < ta, "task-level {tp} must beat algorithm-level {ta}");
+    }
+
+    #[test]
+    fn task_level_loses_for_tiny_n() {
+        // With a single micro-batch the pipeline fill dominates — this is
+        // why ResCCL is slightly slower than MSCCL below 16 MB (§5.2).
+        let l = load();
+        let fill = 2.0 * algorithm_level_time_ns(1, &l);
+        let tp = task_level_time_ns(1, &l, fill, &[]);
+        let ta = algorithm_level_time_ns(1, &l);
+        assert!(tp > ta);
+    }
+
+    #[test]
+    fn stage_level_pays_contention() {
+        let l = load();
+        // Two stages, each with half the tasks: fewer bubbles per stage but
+        // contention on the shared link.
+        let stages = vec![vec![0usize, 1], vec![2usize, 3]];
+        let ts = stage_level_time_ns(8, &l, &stages);
+        let ta = algorithm_level_time_ns(8, &l);
+        // Stage-level is not free: with the penalty term it can exceed
+        // the lazy schedule on an already-saturated link.
+        assert!(ts > 0.0 && ta > 0.0);
+        let (oa, os, op) = asymptotic_overheads(&l, &stages, &[]);
+        assert!(op <= oa, "task-level overhead must be ≤ algorithm-level");
+        assert!(os > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "m' ≤ m")]
+    fn residual_bubbles_bounded() {
+        let l = load();
+        task_level_time_ns(1, &l, 0.0, &[1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulator configuration, including fault injection.
+
+use rescc_topology::ResourceId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Track buffer values and verify the collective's result
+    /// (machine-checked correctness). Costs memory proportional to
+    /// `micro_batches × ranks × chunks`.
+    pub validate_data: bool,
+    /// Flexible TB release (ResCCL): a TB stops occupying its SM when its
+    /// last invocation completes. When false (rigid NCCL/MSCCL model), all
+    /// TBs occupy SMs until the whole kernel finishes.
+    pub early_release: bool,
+    /// Fault injection: multiply each transfer's startup latency by
+    /// `1 + jitter_frac · U[0,1)`. Zero disables jitter.
+    pub jitter_frac: f64,
+    /// RNG seed for jitter (runs are deterministic for a given seed).
+    pub seed: u64,
+    /// Fault injection: per-resource capacity multipliers in `(0, 1]`
+    /// (e.g. a flapping NIC at 0.5 of nominal bandwidth).
+    pub degraded: Vec<(ResourceId, f64)>,
+    /// Safety cap on executed invocations (guards against runaway
+    /// programs; generously above any legitimate run).
+    pub max_invocations: u64,
+    /// Record a per-transfer [`TraceEvent`](crate::TraceEvent) timeline in
+    /// the report (costs memory proportional to invocations).
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            validate_data: true,
+            early_release: true,
+            jitter_frac: 0.0,
+            seed: 0,
+            degraded: Vec::new(),
+            max_invocations: 200_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The rigid-baseline configuration (NCCL/MSCCL-style): no early
+    /// release.
+    pub fn rigid() -> Self {
+        Self {
+            early_release: false,
+            ..Self::default()
+        }
+    }
+
+    /// Disable data validation (for large-scale bandwidth sweeps where the
+    /// value tracking memory would dominate).
+    pub fn without_validation(mut self) -> Self {
+        self.validate_data = false;
+        self
+    }
+
+    /// Add latency jitter.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.jitter_frac = frac;
+        self.seed = seed;
+        self
+    }
+
+    /// Degrade a resource's capacity.
+    pub fn with_degraded(mut self, res: ResourceId, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        self.degraded.push((res, factor));
+        self
+    }
+
+    /// Record the execution timeline.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}

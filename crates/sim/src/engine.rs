@@ -1,0 +1,907 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a generated [`KernelProgram`] on a [`Topology`] with fluid
+//! (processor-sharing) bandwidth arbitration implementing Eq. (1):
+//!
+//! * every transfer first spends its startup latency `α` (plus interpreter
+//!   overhead and cross-rack hops) without occupying link capacity,
+//! * it then *drains* its bytes at a dynamic rate — the minimum, over all
+//!   capacity resources on its path, of that resource's effective bandwidth
+//!   divided by the number of concurrent drains (`effective_bandwidth(z)`
+//!   already folds in the `γ·L(z)` contention penalty),
+//! * whenever a resource's load changes, the rates of every transfer
+//!   sharing it are settled and re-projected.
+//!
+//! TBs are state machines walking their slot/micro-batch invocation
+//! sequence; an invocation starts when the sender TB and the receiver TB
+//! have both arrived **and** all data dependencies of that micro-batch are
+//! complete (the `wait_deps` flags of the generated kernel). Blocked time
+//! is accounted as sync; transfer time as busy. Source values are captured
+//! at transfer start (the FIFO-slot semantics of real CCL buffers), and the
+//! receiver applies copy/reduce at completion, so the final buffers can be
+//! checked against the collective's contract.
+
+use crate::config::SimConfig;
+use crate::error::{SimError, SimResult};
+use crate::metrics::{ResourceStat, SimReport, TbStat};
+use crate::trace::TraceEvent;
+use crate::value::{expected_final, initial_value, ChunkValue};
+use rescc_ir::{DepDag, MicroBatchPlan, TaskId};
+use rescc_kernel::{KernelProgram, LoopOrder};
+use rescc_lang::{CommType, OpType};
+use rescc_topology::{LinkParams, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Run one collective call end to end.
+pub fn simulate(
+    topo: &Topology,
+    dag: &DepDag,
+    program: &KernelProgram,
+    plan: &MicroBatchPlan,
+    op: OpType,
+    config: &SimConfig,
+) -> SimResult<SimReport> {
+    Engine::new(topo, dag, program, plan, op, config)?.run()
+}
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+enum EvKind {
+    LatencyDone(u32),
+    DrainDone(u32, u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: smaller time first; stable tie-break on sequence.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One issue group of a TB: `len` slots starting at `first_slot`, all
+/// issued together for micro-batch `mb`. A fused `recv -> send` pair forms
+/// a 2-slot group (cut-through: both transfers in flight concurrently);
+/// unfused slots are singleton groups.
+#[derive(Clone, Copy)]
+struct IssueGroup {
+    first_slot: u32,
+    len: u32,
+    mb: u32,
+}
+
+struct TbState {
+    rank: u32,
+    tb: u32,
+    prog_rank: usize,
+    prog_tb: usize,
+    groups: Vec<IssueGroup>,
+    group_idx: usize,
+    group_remaining: u32,
+    busy: f64,
+    sync: f64,
+    release: f64,
+    n_inv: u64,
+}
+
+#[derive(Clone, Copy)]
+struct InvState {
+    deps_remaining: u32,
+    send_tb: u32,
+    send_arrival: f64,
+    recv_tb: u32,
+    recv_arrival: f64,
+    started: bool,
+    done: bool,
+    /// Transfer index once started.
+    transfer: u32,
+}
+
+struct Transfer {
+    task: TaskId,
+    mb: u32,
+    bytes: u64,
+    remaining: f64,
+    rate: f64,
+    last_update: f64,
+    gen: u64,
+    draining: bool,
+    send_tb: u32,
+    recv_tb: u32,
+    start: f64,
+    drain_start: f64,
+    captured: Option<ChunkValue>,
+    /// A fused forward that finished draining before its feeding receive
+    /// completed: its completion effects run when the feeder finishes
+    /// (cut-through causality).
+    pending_complete: bool,
+}
+
+struct ResState {
+    params: LinkParams,
+    load: u32,
+    active_since: f64,
+    active_ns: f64,
+    bytes: u64,
+    draining: Vec<u32>,
+}
+
+struct Engine<'a> {
+    dag: &'a DepDag,
+    program: &'a KernelProgram,
+    plan: &'a MicroBatchPlan,
+    op: OpType,
+    config: &'a SimConfig,
+    n_mb: u32,
+    n_ranks: u32,
+    now: f64,
+    seq: u64,
+    tbs: Vec<TbState>,
+    invs: Vec<InvState>,
+    transfers: Vec<Transfer>,
+    resources: Vec<ResState>,
+    heap: BinaryHeap<Ev>,
+    /// Buffer values: `buffers[mb][rank * n_chunks + chunk]`.
+    buffers: Vec<Vec<ChunkValue>>,
+    rng: StdRng,
+    inv_done: u64,
+    inv_total: u64,
+    completion: f64,
+    /// Barrier bookkeeping: group of each task, tasks of each group, and
+    /// remaining incomplete tasks per (group, micro-batch).
+    barrier_group_of: Vec<u32>,
+    barrier_members: Vec<Vec<TaskId>>,
+    barrier_remaining: Vec<Vec<u32>>,
+    trace: Vec<TraceEvent>,
+    /// Tasks whose send slot is fused with the preceding receive
+    /// (`recvCopySend` — startup latency elided).
+    fused_task: Vec<bool>,
+    /// For a fused forward B: the feeding receive task A (or NONE).
+    fused_pred: Vec<u32>,
+    /// For a receive A: the fused forwards gated on it.
+    fused_next: Vec<Vec<TaskId>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        topo: &Topology,
+        dag: &'a DepDag,
+        program: &'a KernelProgram,
+        plan: &'a MicroBatchPlan,
+        op: OpType,
+        config: &'a SimConfig,
+    ) -> SimResult<Self> {
+        program
+            .validate(dag)
+            .map_err(|e| SimError::new(format!("invalid kernel program: {e}")))?;
+        let n_mb = plan.n_micro_batches;
+        let n_ranks = topo.n_ranks();
+        let n_tasks = dag.len();
+        let inv_total = n_tasks as u64 * n_mb as u64;
+        if inv_total > config.max_invocations {
+            return Err(SimError::new(format!(
+                "run would execute {inv_total} invocations, above the safety cap {}",
+                config.max_invocations
+            )));
+        }
+
+        // Resources with degradation applied.
+        let mut resources: Vec<ResState> = (0..topo.n_resources())
+            .map(|r| ResState {
+                params: topo.resource_params(rescc_topology::ResourceId::new(r)),
+                load: 0,
+                active_since: 0.0,
+                active_ns: 0.0,
+                bytes: 0,
+                draining: Vec::new(),
+            })
+            .collect();
+        for (res, factor) in &config.degraded {
+            let p = &mut resources[res.index()].params;
+            // Degrade capacity: stretch β and shrink the per-TB rate.
+            p.beta_ns_per_byte /= factor;
+            p.tb_bw_bytes_per_ns *= factor;
+        }
+
+        // TB states.
+        let mut tbs = Vec::new();
+        for (pr, rank_prog) in program.ranks.iter().enumerate() {
+            for (pt, tb_prog) in rank_prog.tbs.iter().enumerate() {
+                let stride = tb_prog.mb_stride.max(1);
+                let offset = tb_prog.mb_offset;
+                let window = if offset >= n_mb {
+                    0
+                } else {
+                    (n_mb - offset - 1) / stride + 1
+                };
+                // Issue groups: fused slots glue to their predecessor and
+                // are issued per micro-batch together; plain slot-major
+                // iterates each segment over its micro-batch window;
+                // micro-batch-major iterates all slots per micro-batch.
+                let mut groups: Vec<IssueGroup> = Vec::new();
+                match program.loop_order {
+                    LoopOrder::SlotMajor => {
+                        let mut segments: Vec<(u32, u32)> = Vec::new();
+                        for (si, slot) in tb_prog.slots.iter().enumerate() {
+                            if slot.fused_with_prev && !segments.is_empty() {
+                                segments.last_mut().expect("nonempty").1 += 1;
+                            } else {
+                                segments.push((si as u32, 1));
+                            }
+                        }
+                        for (first_slot, len) in segments {
+                            for k in 0..window {
+                                groups.push(IssueGroup {
+                                    first_slot,
+                                    len,
+                                    mb: offset + k * stride,
+                                });
+                            }
+                        }
+                    }
+                    LoopOrder::MicroBatchMajor => {
+                        // Each micro-batch walks the pipeline; fused pairs
+                        // issue together as one recvCopySend.
+                        let mut segments: Vec<(u32, u32)> = Vec::new();
+                        for (si, slot) in tb_prog.slots.iter().enumerate() {
+                            if slot.fused_with_prev && !segments.is_empty() {
+                                segments.last_mut().expect("nonempty").1 += 1;
+                            } else {
+                                segments.push((si as u32, 1));
+                            }
+                        }
+                        for k in 0..window {
+                            for &(first_slot, len) in &segments {
+                                groups.push(IssueGroup {
+                                    first_slot,
+                                    len,
+                                    mb: offset + k * stride,
+                                });
+                            }
+                        }
+                    }
+                }
+                tbs.push(TbState {
+                    rank: rank_prog.rank.0,
+                    tb: pt as u32,
+                    prog_rank: pr,
+                    prog_tb: pt,
+                    groups,
+                    group_idx: 0,
+                    group_remaining: 0,
+                    busy: 0.0,
+                    sync: 0.0,
+                    release: 0.0,
+                    n_inv: 0,
+                });
+            }
+        }
+
+        // Fusion marks (per task) and the feeder relation.
+        let mut fused_task = vec![false; n_tasks];
+        let mut fused_pred = vec![NONE; n_tasks];
+        let mut fused_next: Vec<Vec<TaskId>> = vec![Vec::new(); n_tasks];
+        for rp in &program.ranks {
+            for tb in &rp.tbs {
+                for (si, slot) in tb.slots.iter().enumerate() {
+                    if slot.fused_with_prev {
+                        fused_task[slot.task.index()] = true;
+                        let feeder = tb.slots[si - 1].task;
+                        fused_pred[slot.task.index()] = feeder.0;
+                        fused_next[feeder.index()].push(slot.task);
+                    }
+                }
+            }
+        }
+
+        // Invocation states.
+        let mut invs = vec![
+            InvState {
+                deps_remaining: 0,
+                send_tb: NONE,
+                send_arrival: 0.0,
+                recv_tb: NONE,
+                recv_arrival: 0.0,
+                started: false,
+                done: false,
+                transfer: NONE,
+            };
+            n_tasks * n_mb as usize
+        ];
+        for t in 0..n_tasks {
+            let mut preds = dag.preds(TaskId::new(t as u32)).len() as u32;
+            // A fused forward's dependency on its feeder is replaced by the
+            // cut-through start gate.
+            if fused_pred[t] != NONE
+                && dag.preds(TaskId::new(t as u32)).contains(&TaskId::new(fused_pred[t]))
+            {
+                preds -= 1;
+            }
+            for mb in 0..n_mb {
+                invs[t * n_mb as usize + mb as usize].deps_remaining = preds;
+            }
+        }
+
+
+        // Barrier groups.
+        let (barrier_group_of, barrier_members, barrier_remaining) =
+            if let Some(groups) = &program.barrier_groups {
+                if groups.len() != n_tasks {
+                    return Err(SimError::new(format!(
+                        "barrier groups cover {} tasks, DAG has {n_tasks}",
+                        groups.len()
+                    )));
+                }
+                let n_groups = groups.iter().copied().max().unwrap_or(0) as usize + 1;
+                let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); n_groups];
+                for (t, &g) in groups.iter().enumerate() {
+                    members[g as usize].push(TaskId::new(t as u32));
+                }
+                let remaining: Vec<Vec<u32>> = members
+                    .iter()
+                    .map(|m| vec![m.len() as u32; n_mb as usize])
+                    .collect();
+                (groups.clone(), members, remaining)
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
+
+        // Buffers.
+        let n_chunks = dag.n_chunks();
+        let buffers = if config.validate_data {
+            (0..n_mb)
+                .map(|_| {
+                    (0..n_ranks)
+                        .flat_map(|r| {
+                            (0..n_chunks).map(move |c| initial_value(op, n_ranks, r, c))
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        Ok(Self {
+            dag,
+            program,
+            plan,
+            op,
+            config,
+            n_mb,
+            n_ranks,
+            now: 0.0,
+            seq: 0,
+            tbs,
+            invs,
+            transfers: Vec::new(),
+            resources,
+            heap: BinaryHeap::new(),
+            buffers,
+            rng: StdRng::seed_from_u64(config.seed),
+            inv_done: 0,
+            inv_total,
+            completion: 0.0,
+            barrier_group_of,
+            barrier_members,
+            barrier_remaining,
+            trace: Vec::new(),
+            fused_task,
+            fused_pred,
+            fused_next,
+        })
+    }
+
+    /// Is task `task` allowed to start micro-batch `mb` under the
+    /// program's barrier discipline?
+    fn barrier_ok(&self, task: TaskId, mb: u32) -> bool {
+        let stride = self.program.barrier_stride.max(1);
+        if self.barrier_group_of.is_empty() || mb < stride {
+            return true;
+        }
+        let g = self.barrier_group_of[task.index()] as usize;
+        self.barrier_remaining[g][(mb - stride) as usize] == 0
+    }
+
+    fn run(mut self) -> SimResult<SimReport> {
+        // Kernel launch: every TB arrives at its first invocation at t = 0.
+        for tb_id in 0..self.tbs.len() as u32 {
+            self.tb_arrive(tb_id);
+        }
+
+        while let Some(ev) = self.heap.pop() {
+            debug_assert!(ev.t >= self.now - 1e-6, "time went backwards");
+            self.now = ev.t.max(self.now);
+            match ev.kind {
+                EvKind::LatencyDone(x) => self.on_latency_done(x),
+                EvKind::DrainDone(x, gen) => {
+                    if self.transfers[x as usize].gen == gen {
+                        self.on_drain_done(x);
+                    }
+                }
+            }
+        }
+
+        if self.inv_done != self.inv_total {
+            return Err(self.deadlock_report());
+        }
+
+        let data_valid = if self.config.validate_data {
+            Some(self.check_data()?)
+        } else {
+            None
+        };
+
+        let completion = self.completion;
+        let tb_stats = self
+            .tbs
+            .iter()
+            .map(|tb| TbStat {
+                rank: tb.rank,
+                tb: tb.tb,
+                busy_ns: tb.busy,
+                sync_ns: tb.sync,
+                release_ns: tb.release,
+                occupancy_ns: if self.config.early_release {
+                    tb.release
+                } else {
+                    completion
+                },
+                n_invocations: tb.n_inv,
+            })
+            .collect();
+        let resource_stats = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.bytes > 0)
+            .map(|(i, r)| ResourceStat {
+                resource: i as u32,
+                active_ns: r.active_ns,
+                bytes: r.bytes,
+                capacity: r.params.bandwidth(),
+            })
+            .collect();
+        let total_bytes = self.transfers.iter().map(|t| t.bytes).sum();
+
+        Ok(SimReport {
+            completion_ns: completion,
+            total_bytes,
+            tb_stats,
+            resource_stats,
+            data_valid,
+            n_micro_batches: self.n_mb,
+            n_invocations: self.inv_done,
+            trace: self.trace,
+        })
+    }
+
+    /// The TB (re-)arrives at its current issue group: every invocation of
+    /// the group registers its side and may start.
+    fn tb_arrive(&mut self, tb_id: u32) {
+        let now = self.now;
+        let tb = &mut self.tbs[tb_id as usize];
+        if tb.group_idx >= tb.groups.len() {
+            tb.release = now;
+            return;
+        }
+        let group = tb.groups[tb.group_idx];
+        tb.group_remaining = group.len;
+        let (prog_rank, prog_tb) = (tb.prog_rank, tb.prog_tb);
+        for si in group.first_slot..group.first_slot + group.len {
+            let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
+            let idx = slot.task.index() * self.n_mb as usize + group.mb as usize;
+            let inv = &mut self.invs[idx];
+            if slot.is_send() {
+                debug_assert_eq!(inv.send_tb, NONE, "two senders for one invocation");
+                inv.send_tb = tb_id;
+                inv.send_arrival = now;
+            } else {
+                debug_assert_eq!(inv.recv_tb, NONE, "two receivers for one invocation");
+                inv.recv_tb = tb_id;
+                inv.recv_arrival = now;
+            }
+            self.try_start(slot.task, group.mb);
+        }
+    }
+
+    fn try_start(&mut self, task: TaskId, mb: u32) {
+        let idx = task.index() * self.n_mb as usize + mb as usize;
+        let inv = self.invs[idx];
+        if inv.started
+            || inv.send_tb == NONE
+            || inv.recv_tb == NONE
+            || inv.deps_remaining > 0
+            || !self.barrier_ok(task, mb)
+        {
+            return;
+        }
+        // Cut-through gate: a fused forward starts once its feeding receive
+        // is in flight (the feeder's completion dependency was lifted).
+        let fp = self.fused_pred[task.index()];
+        if fp != NONE {
+            let fidx = fp as usize * self.n_mb as usize + mb as usize;
+            if !self.invs[fidx].started {
+                return;
+            }
+        }
+        self.invs[idx].started = true;
+        let now = self.now;
+
+        // Sync (blocked) time for both sides.
+        self.tbs[inv.send_tb as usize].sync += now - inv.send_arrival;
+        self.tbs[inv.recv_tb as usize].sync += now - inv.recv_arrival;
+
+        let t = self.dag.task(task);
+        let bytes = self.plan.invocation_bytes(mb);
+        // Fused forwards capture at completion instead (their payload is
+        // the feeder's freshly-delivered value, applied by then).
+        let captured = if self.config.validate_data && fp == NONE {
+            Some(self.buffers[mb as usize][self.buffer_idx(t.src.0, t.chunk.0)].clone())
+        } else {
+            None
+        };
+
+        // Startup latency: α of the slowest conflict resource + extra path
+        // latency + interpreter overhead + optional jitter.
+        let alpha = if self.fused_task[task.index()] {
+            // Fused recvCopySend: the forward starts inside the previous
+            // primitive's epilogue — no fresh startup latency.
+            0.0
+        } else {
+            t.conflict
+                .iter()
+                .map(|r| self.resources[r.index()].params.alpha_ns)
+                .fold(0.0, f64::max)
+        };
+        let extra = if t.inter_node { 0.0 } else { 0.0 };
+        let mut latency = alpha + extra + self.program.exec.overhead_ns();
+        if self.config.jitter_frac > 0.0 {
+            latency *= 1.0 + self.config.jitter_frac * self.rng.gen::<f64>();
+        }
+
+        let x = self.transfers.len() as u32;
+        self.transfers.push(Transfer {
+            task,
+            mb,
+            bytes,
+            remaining: bytes as f64,
+            rate: 0.0,
+            last_update: now,
+            gen: 0,
+            draining: false,
+            send_tb: inv.send_tb,
+            recv_tb: inv.recv_tb,
+            start: now,
+            drain_start: now,
+            captured,
+            pending_complete: false,
+        });
+        self.invs[idx].transfer = x;
+        self.push_event(now + latency, EvKind::LatencyDone(x));
+
+        // Wake fused followers gated on this start.
+        let followers = self.fused_next[task.index()].clone();
+        for b in followers {
+            self.try_start(b, mb);
+        }
+    }
+
+    fn buffer_idx(&self, rank: u32, chunk: u32) -> usize {
+        (rank * self.dag.n_chunks() + chunk) as usize
+    }
+
+    fn on_latency_done(&mut self, x: u32) {
+        let now = self.now;
+        let task = self.transfers[x as usize].task;
+        let path = self.dag.task(task).path;
+        self.transfers[x as usize].draining = true;
+        self.transfers[x as usize].last_update = now;
+        self.transfers[x as usize].drain_start = now;
+        let mut affected: Vec<u32> = Vec::new();
+        for r in path.iter() {
+            let rs = &mut self.resources[r.index()];
+            if rs.load == 0 {
+                rs.active_since = now;
+            }
+            rs.load += 1;
+            for &other in &rs.draining {
+                if !affected.contains(&other) {
+                    affected.push(other);
+                }
+            }
+            rs.draining.push(x);
+        }
+        self.reproject(x);
+        for other in affected {
+            self.reproject(other);
+        }
+    }
+
+    /// Settle a draining transfer's progress and re-project its finish.
+    fn reproject(&mut self, x: u32) {
+        let now = self.now;
+        let t = &mut self.transfers[x as usize];
+        debug_assert!(t.draining);
+        t.remaining -= t.rate * (now - t.last_update);
+        t.remaining = t.remaining.max(0.0);
+        t.last_update = now;
+        let path = self.dag.task(t.task).path;
+        let mut rate = f64::INFINITY;
+        for r in path.iter() {
+            let rs = &self.resources[r.index()];
+            let share = rs.params.effective_bandwidth(rs.load) / rs.load as f64;
+            rate = rate.min(share);
+        }
+        debug_assert!(rate.is_finite() && rate > 0.0);
+        let t = &mut self.transfers[x as usize];
+        t.rate = rate;
+        t.gen += 1;
+        let gen = t.gen;
+        let finish = now + t.remaining / rate;
+        self.push_event(finish, EvKind::DrainDone(x, gen));
+    }
+
+    fn on_drain_done(&mut self, x: u32) {
+        let now = self.now;
+        let (task, mb, bytes) = {
+            let t = &self.transfers[x as usize];
+            (t.task, t.mb, t.bytes)
+        };
+
+        // Free resources and settle peers.
+        let path = self.dag.task(task).path;
+        let mut affected: Vec<u32> = Vec::new();
+        for r in path.iter() {
+            let rs = &mut self.resources[r.index()];
+            rs.load -= 1;
+            rs.bytes += bytes;
+            if rs.load == 0 {
+                rs.active_ns += now - rs.active_since;
+            }
+            let posn = rs
+                .draining
+                .iter()
+                .position(|&o| o == x)
+                .expect("transfer registered on its path");
+            rs.draining.swap_remove(posn);
+            for &other in &rs.draining {
+                if !affected.contains(&other) {
+                    affected.push(other);
+                }
+            }
+        }
+        self.transfers[x as usize].draining = false;
+        for other in affected {
+            self.reproject(other);
+        }
+
+        // Cut-through causality: a fused forward cannot complete before the
+        // receive that feeds it.
+        let fp = self.fused_pred[task.index()];
+        if fp != NONE {
+            let fidx = fp as usize * self.n_mb as usize + mb as usize;
+            if !self.invs[fidx].done {
+                self.transfers[x as usize].pending_complete = true;
+                return;
+            }
+        }
+        self.complete_invocation(x);
+    }
+
+    /// Completion effects of a drained transfer: data application, trace,
+    /// accounting, dependency propagation, barrier release, TB advance —
+    /// possibly deferred for fused forwards.
+    fn complete_invocation(&mut self, x: u32) {
+        let now = self.now;
+        let (task, mb, bytes, start, send_tb, recv_tb) = {
+            let t = &self.transfers[x as usize];
+            (t.task, t.mb, t.bytes, t.start, t.send_tb, t.recv_tb)
+        };
+
+        // Apply data semantics. Fused forwards (no capture at start) read
+        // the source slot now — the feeding receive has already applied.
+        if self.config.validate_data {
+            let captured = match self.transfers[x as usize].captured.take() {
+                Some(v) => v,
+                None => {
+                    let t = self.dag.task(task);
+                    self.buffers[mb as usize][self.buffer_idx(t.src.0, t.chunk.0)].clone()
+                }
+            };
+            let t = self.dag.task(task);
+            let di = self.buffer_idx(t.dst.0, t.chunk.0);
+            let dst = &mut self.buffers[mb as usize][di];
+            match t.comm {
+                CommType::Recv => dst.copy_from(&captured),
+                CommType::Rrc => dst.reduce_from(&captured),
+            }
+        }
+
+        if self.config.record_trace {
+            let t = self.dag.task(task);
+            self.trace.push(TraceEvent {
+                task: task.0,
+                mb,
+                src: t.src.0,
+                dst: t.dst.0,
+                start_ns: start,
+                drain_start_ns: self.transfers[x as usize].drain_start,
+                end_ns: now,
+                bytes,
+            });
+        }
+
+        // Account busy time on both TBs.
+        let dur = now - start;
+        self.tbs[send_tb as usize].busy += dur;
+        self.tbs[recv_tb as usize].busy += dur;
+        self.tbs[send_tb as usize].n_inv += 1;
+        self.tbs[recv_tb as usize].n_inv += 1;
+
+        // Mark done, propagate dependencies.
+        let idx = task.index() * self.n_mb as usize + mb as usize;
+        self.invs[idx].done = true;
+        self.inv_done += 1;
+        self.completion = self.completion.max(now);
+        let succs: Vec<TaskId> = self.dag.succs(task).to_vec();
+        for s in succs {
+            // The fused forward's dependency on this feeder was lifted at
+            // initialization; everything else decrements normally.
+            if self.fused_pred[s.index()] == task.0 {
+                continue;
+            }
+            let sidx = s.index() * self.n_mb as usize + mb as usize;
+            self.invs[sidx].deps_remaining -= 1;
+            self.try_start(s, mb);
+        }
+
+        // Barrier release: when the whole group finishes this micro-batch,
+        // its tasks may start the next one.
+        if !self.barrier_group_of.is_empty() {
+            let g = self.barrier_group_of[task.index()] as usize;
+            self.barrier_remaining[g][mb as usize] -= 1;
+            let stride = self.program.barrier_stride.max(1);
+            if self.barrier_remaining[g][mb as usize] == 0 && mb + stride < self.n_mb {
+                let members = self.barrier_members[g].clone();
+                for m in members {
+                    self.try_start(m, mb + stride);
+                }
+            }
+        }
+
+        // Release fused forwards that drained before this feeder finished.
+        let followers = self.fused_next[task.index()].clone();
+        for b in followers {
+            let bidx = b.index() * self.n_mb as usize + mb as usize;
+            let bx = self.invs[bidx].transfer;
+            if bx != NONE && self.transfers[bx as usize].pending_complete {
+                self.transfers[bx as usize].pending_complete = false;
+                self.complete_invocation(bx);
+            }
+        }
+
+        // Advance both TBs: each participating TB retires one invocation of
+        // its current issue group; when the group drains, the next one is
+        // entered.
+        for tb_id in [send_tb, recv_tb] {
+            let tb = &mut self.tbs[tb_id as usize];
+            debug_assert!(tb.group_remaining > 0, "TB retired with no open group");
+            tb.group_remaining -= 1;
+            if tb.group_remaining == 0 {
+                tb.group_idx += 1;
+                self.tb_arrive(tb_id);
+            }
+        }
+    }
+
+    fn push_event(&mut self, t: f64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Ev {
+            t,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn check_data(&self) -> SimResult<bool> {
+        let n_chunks = self.dag.n_chunks();
+        for mb in 0..self.n_mb {
+            for rank in 0..self.n_ranks {
+                for chunk in 0..n_chunks {
+                    if let Some(expect) = expected_final(self.op, self.n_ranks, rank, chunk) {
+                        let got = &self.buffers[mb as usize][self.buffer_idx(rank, chunk)];
+                        if *got != expect {
+                            return Err(SimError::new(format!(
+                                "collective produced wrong data: micro-batch {mb}, rank r{rank}, \
+                                 chunk c{chunk}: counts {:?}, expected {:?}",
+                                got.counts(),
+                                expect.counts()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn deadlock_report(&self) -> SimError {
+        // Find a representative blocked invocation for the diagnosis.
+        let mut detail = String::new();
+        for (i, inv) in self.invs.iter().enumerate() {
+            if !inv.done && inv.started {
+                continue; // in flight — impossible here (heap empty)
+            }
+            if !inv.done {
+                let task = TaskId::new((i / self.n_mb as usize) as u32);
+                let mb = i % self.n_mb as usize;
+                detail = format!(
+                    "first blocked invocation: task {task} micro-batch {mb} \
+                     (deps remaining {}, sender {}, receiver {})",
+                    inv.deps_remaining,
+                    if inv.send_tb == NONE { "absent" } else { "arrived" },
+                    if inv.recv_tb == NONE { "absent" } else { "arrived" },
+                );
+                break;
+            }
+        }
+        // Dump each unfinished TB's head group for cycle diagnosis.
+        let mut heads = String::new();
+        for (i, tb) in self.tbs.iter().enumerate() {
+            if tb.group_idx >= tb.groups.len() {
+                continue;
+            }
+            let g = tb.groups[tb.group_idx];
+            let prog = &self.program.ranks[tb.prog_rank].tbs[tb.prog_tb];
+            let slots: Vec<String> = (g.first_slot..g.first_slot + g.len)
+                .map(|si| {
+                    let slot = &prog.slots[si as usize];
+                    let idx = slot.task.index() * self.n_mb as usize + g.mb as usize;
+                    let inv = &self.invs[idx];
+                    format!(
+                        "{}({:?},started={},done={},deps={})",
+                        slot.task, slot.primitive, inv.started, inv.done, inv.deps_remaining
+                    )
+                })
+                .collect();
+            heads.push_str(&format!(
+                "\n  tb#{i} r{} idx{} group{} mb{} rem{}: {}",
+                tb.rank,
+                tb.tb,
+                tb.group_idx,
+                g.mb,
+                tb.group_remaining,
+                slots.join(", ")
+            ));
+        }
+        SimError::new(format!(
+            "deadlock: {}/{} invocations completed; {detail}{heads}",
+            self.inv_done, self.inv_total
+        ))
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Error produced during simulation (invalid program, deadlock, data
+/// corruption, safety-cap violation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    msg: String,
+}
+
+impl SimError {
+    /// Create an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias.
+pub type SimResult<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,248 @@
+//! Metrics collected by the simulator: per-TB occupancy, per-resource
+//! activity, and whole-run summaries.
+//!
+//! These feed every resource-oriented result of the paper: Table 1 (link
+//! utilization), Fig. 2 / Fig. 12 (per-TB time breakdown), Table 3 (TB
+//! counts, communication time, average/max idle), and the bandwidth numbers
+//! of Figs. 6–9 and 11.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread-block accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TbStat {
+    /// Rank the TB runs on.
+    pub rank: u32,
+    /// TB index within its rank.
+    pub tb: u32,
+    /// Time spent executing transfers (latency + drain phases), ns.
+    pub busy_ns: f64,
+    /// Time spent blocked — waiting for the peer TB or for data
+    /// dependencies — while occupying SM resources, ns.
+    pub sync_ns: f64,
+    /// When the TB finished its last invocation (early-release point), ns.
+    pub release_ns: f64,
+    /// The window during which the TB occupied an SM, ns. Equals
+    /// `release_ns` under flexible (early) release, or the whole kernel
+    /// duration under rigid allocation.
+    pub occupancy_ns: f64,
+    /// Number of primitive invocations executed.
+    pub n_invocations: u64,
+}
+
+impl TbStat {
+    /// Fraction of occupancy spent busy-waiting.
+    pub fn idle_ratio(&self) -> f64 {
+        if self.occupancy_ns <= 0.0 {
+            // A TB that never did anything but occupied an SM for a
+            // zero-length window: call it fully idle if it had no work.
+            return if self.n_invocations == 0 { 1.0 } else { 0.0 };
+        }
+        (1.0 - self.busy_ns / self.occupancy_ns).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of occupancy spent communicating.
+    pub fn comm_ratio(&self) -> f64 {
+        1.0 - self.idle_ratio()
+    }
+}
+
+/// Per-resource accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStat {
+    /// Resource index.
+    pub resource: u32,
+    /// Total time the resource had at least one draining transfer, ns.
+    pub active_ns: f64,
+    /// Total bytes moved through the resource.
+    pub bytes: u64,
+    /// Resource capacity in bytes/ns (GB/s).
+    pub capacity: f64,
+}
+
+impl ResourceStat {
+    /// Bandwidth utilization relative to capacity over `span_ns`:
+    /// `bytes / (capacity · span)`.
+    pub fn utilization_over(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 || self.capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes as f64 / (self.capacity * span_ns)).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of `span_ns` during which the resource was active.
+    pub fn active_ratio_over(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.active_ns / span_ns).clamp(0.0, 1.0)
+    }
+}
+
+/// The complete result of one simulated collective call.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock completion time of the collective, ns.
+    pub completion_ns: f64,
+    /// Total bytes moved over all connections (each transfer counted once).
+    pub total_bytes: u64,
+    /// Per-TB statistics, in (rank, tb) order.
+    pub tb_stats: Vec<TbStat>,
+    /// Per-resource statistics for resources that carried traffic.
+    pub resource_stats: Vec<ResourceStat>,
+    /// Whether the data-correctness check ran and passed.
+    /// `None` when validation was disabled.
+    pub data_valid: Option<bool>,
+    /// Number of micro-batches executed.
+    pub n_micro_batches: u32,
+    /// Number of transfer invocations executed.
+    pub n_invocations: u64,
+    /// Per-transfer timeline (populated when
+    /// [`SimConfig::record_trace`](crate::SimConfig) is set).
+    pub trace: Vec<crate::TraceEvent>,
+}
+
+impl SimReport {
+    /// Algorithm bandwidth in GB/s for a collective that synchronized
+    /// `buffer_bytes` per rank: `buffer / time` (the paper's algbw).
+    pub fn algo_bandwidth_gbps(&self, buffer_bytes: u64) -> f64 {
+        if self.completion_ns <= 0.0 {
+            return 0.0;
+        }
+        buffer_bytes as f64 / self.completion_ns
+    }
+
+    /// Number of TBs that executed at least one invocation.
+    pub fn active_tbs(&self) -> usize {
+        self.tb_stats.iter().filter(|t| t.n_invocations > 0).count()
+    }
+
+    /// Mean idle ratio across TBs that occupied SMs.
+    pub fn avg_idle_ratio(&self) -> f64 {
+        if self.tb_stats.is_empty() {
+            return 0.0;
+        }
+        self.tb_stats.iter().map(TbStat::idle_ratio).sum::<f64>() / self.tb_stats.len() as f64
+    }
+
+    /// Worst TB idle ratio.
+    pub fn max_idle_ratio(&self) -> f64 {
+        self.tb_stats
+            .iter()
+            .map(TbStat::idle_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean communication (busy) ratio across TBs.
+    pub fn avg_comm_ratio(&self) -> f64 {
+        1.0 - self.avg_idle_ratio()
+    }
+
+    /// Global link utilization (Table 1): mean *active time* ratio over
+    /// the links that carried traffic — the complement of the paper's
+    /// "accumulated bubbles" (idle link time) over the collective's
+    /// completion time. Unweighted across links, so an algorithm that
+    /// funnels all traffic through a few hot links (and leaves the rest
+    /// idle) scores low even if the hot links are saturated.
+    pub fn global_link_utilization(&self) -> f64 {
+        let carrying: Vec<&ResourceStat> = self
+            .resource_stats
+            .iter()
+            .filter(|r| r.bytes > 0)
+            .collect();
+        if carrying.is_empty() {
+            return 0.0;
+        }
+        carrying
+            .iter()
+            .map(|r| r.active_ratio_over(self.completion_ns))
+            .sum::<f64>()
+            / carrying.len() as f64
+    }
+
+    /// Traffic-weighted mean *bandwidth* utilization (bytes over
+    /// capacity × completion) of the links that carried traffic — a
+    /// stricter metric than [`Self::global_link_utilization`] that also
+    /// penalizes links draining below line rate.
+    pub fn global_bandwidth_utilization(&self) -> f64 {
+        let carrying: Vec<&ResourceStat> = self
+            .resource_stats
+            .iter()
+            .filter(|r| r.bytes > 0)
+            .collect();
+        if carrying.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = carrying.iter().map(|r| r.bytes).sum();
+        carrying
+            .iter()
+            .map(|r| r.utilization_over(self.completion_ns) * r.bytes as f64 / total as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_ratio_basics() {
+        let t = TbStat {
+            busy_ns: 30.0,
+            sync_ns: 70.0,
+            occupancy_ns: 100.0,
+            n_invocations: 3,
+            ..Default::default()
+        };
+        assert!((t.idle_ratio() - 0.7).abs() < 1e-12);
+        assert!((t.comm_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tb_is_fully_idle() {
+        let t = TbStat::default();
+        assert_eq!(t.idle_ratio(), 1.0);
+    }
+
+    #[test]
+    fn utilization_is_bytes_over_capacity_time() {
+        let r = ResourceStat {
+            resource: 0,
+            active_ns: 50.0,
+            bytes: 500,
+            capacity: 10.0,
+        };
+        assert!((r.utilization_over(100.0) - 0.5).abs() < 1e-12);
+        assert!((r.active_ratio_over(100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let rep = SimReport {
+            completion_ns: 1000.0,
+            total_bytes: 4000,
+            tb_stats: vec![
+                TbStat {
+                    busy_ns: 900.0,
+                    occupancy_ns: 1000.0,
+                    n_invocations: 1,
+                    ..Default::default()
+                },
+                TbStat {
+                    busy_ns: 100.0,
+                    occupancy_ns: 1000.0,
+                    n_invocations: 1,
+                    ..Default::default()
+                },
+            ],
+            resource_stats: vec![],
+            data_valid: Some(true),
+            n_micro_batches: 1,
+            n_invocations: 2,
+            trace: Vec::new(),
+        };
+        assert!((rep.avg_idle_ratio() - 0.5).abs() < 1e-12);
+        assert!((rep.max_idle_ratio() - 0.9).abs() < 1e-12);
+        assert!((rep.algo_bandwidth_gbps(2000) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Execution tracing: an optional per-transfer timeline the engine records
+//! when [`SimConfig::record_trace`](crate::SimConfig) is set, plus
+//! rendering and analysis helpers.
+//!
+//! The trace is the simulator's equivalent of an NSight timeline: one
+//! [`TraceEvent`] per transfer invocation with its rendezvous, latency and
+//! drain phases. [`render_gantt`] draws a coarse text Gantt chart per rank
+//! (useful in examples and when debugging schedules); [`BottleneckReport`]
+//! identifies the resources that bound the run.
+
+use crate::metrics::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// One transfer invocation's lifecycle on the timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Task index (into the DAG).
+    pub task: u32,
+    /// Micro-batch.
+    pub mb: u32,
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// When the transfer's rendezvous completed and it started (ns).
+    pub start_ns: f64,
+    /// When the startup-latency phase ended and draining began (ns).
+    pub drain_start_ns: f64,
+    /// Completion time (ns).
+    pub end_ns: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Mean drain rate in GB/s (bytes per ns).
+    pub fn mean_rate_gbps(&self) -> f64 {
+        let drain = self.end_ns - self.drain_start_ns;
+        if drain <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / drain
+        }
+    }
+}
+
+/// Render a coarse text Gantt chart of sender activity per rank.
+///
+/// Each row is a rank; each column is a `width`-th of the run. A cell
+/// shows `#` when the rank was sending for more than half the column's
+/// span, `+` when sending at all, and `.` when idle.
+pub fn render_gantt(events: &[TraceEvent], n_ranks: u32, width: usize) -> String {
+    assert!(width >= 1);
+    let end = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
+    if end <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let col = end / width as f64;
+    let mut busy = vec![vec![0.0f64; width]; n_ranks as usize];
+    for e in events {
+        let first = ((e.start_ns / col) as usize).min(width - 1);
+        let last = ((e.end_ns / col) as usize).min(width - 1);
+        for c in first..=last {
+            let cs = c as f64 * col;
+            let ce = cs + col;
+            let overlap = (e.end_ns.min(ce) - e.start_ns.max(cs)).max(0.0);
+            busy[e.src as usize][c] += overlap;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in busy.iter().enumerate() {
+        out.push_str(&format!("r{r:<3} |"));
+        for &b in row {
+            out.push(if b > 0.5 * col {
+                '#'
+            } else if b > 0.0 {
+                '+'
+            } else {
+                '.'
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "      0 {:>w$}\n",
+        format!("{:.2} ms", end / 1e6),
+        w = width.saturating_sub(1)
+    ));
+    out
+}
+
+/// Which resources bound the run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Resources sorted by active-time ratio, busiest first:
+    /// `(resource index, active ratio, bytes)`.
+    pub hottest: Vec<(u32, f64, u64)>,
+}
+
+impl BottleneckReport {
+    /// Analyze a finished run.
+    pub fn from_report(report: &SimReport) -> Self {
+        let mut hottest: Vec<(u32, f64, u64)> = report
+            .resource_stats
+            .iter()
+            .map(|r| {
+                (
+                    r.resource,
+                    r.active_ratio_over(report.completion_ns),
+                    r.bytes,
+                )
+            })
+            .collect();
+        hottest.sort_by(|a, b| b.1.total_cmp(&a.1));
+        Self { hottest }
+    }
+
+    /// The single busiest resource, if any traffic flowed.
+    pub fn bottleneck(&self) -> Option<(u32, f64)> {
+        self.hottest.first().map(|(r, a, _)| (*r, *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: u32, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            task: 0,
+            mb: 0,
+            src,
+            dst: (src + 1) % 4,
+            start_ns: start,
+            drain_start_ns: start + 1.0,
+            end_ns: end,
+            bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn gantt_marks_busy_columns() {
+        let events = vec![ev(0, 0.0, 50.0), ev(1, 50.0, 100.0)];
+        let g = render_gantt(&events, 2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("r0"));
+        assert!(lines[0].contains('#'));
+        assert!(lines[0].contains('.'));
+        // Rank 0 busy in the first half, rank 1 in the second.
+        let r0 = lines[0].split('|').nth(1).unwrap();
+        let r1 = lines[1].split('|').nth(1).unwrap();
+        assert_eq!(&r0[..4], "####");
+        assert_eq!(&r1[6..10], "####");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert!(render_gantt(&[], 4, 8).contains("empty"));
+    }
+
+    #[test]
+    fn mean_rate() {
+        let e = TraceEvent {
+            drain_start_ns: 10.0,
+            end_ns: 110.0,
+            bytes: 500,
+            ..ev(0, 0.0, 110.0)
+        };
+        assert!((e.mean_rate_gbps() - 5.0).abs() < 1e-12);
+    }
+}

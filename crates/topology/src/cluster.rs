@@ -1,0 +1,638 @@
+//! Cluster topology: nodes, GPUs, NICs and the two-tier Clos fabric.
+//!
+//! The model follows the paper's testbed (§5.1): each server hosts
+//! `gpus_per_node` GPUs joined by NVSwitch, plus `nics_per_node` RoCE NICs
+//! with every `gpus_per_node / nics_per_node` GPUs sharing one NIC. Servers
+//! attach to Top-of-Rack switches, `servers_per_rack` each; traffic between
+//! racks crosses the aggregation tier and pays extra latency.
+//!
+//! Two resource classes model contention:
+//!
+//! * **Conflict resources** — the communication-dependency domain of §3.
+//!   Intra-node: the per-ordered-pair NVLink channel through the NVSwitch
+//!   (two tasks between the same GPU pair contend). Inter-node: the NIC TX
+//!   and RX directions (tasks from/to GPUs sharing a NIC contend — the
+//!   congestion §4.4 describes).
+//! * **Capacity resources** — a GPU's aggregate NVLink egress/ingress port.
+//!   They never trigger the Eq. (1) penalty; they only bound the summed
+//!   bandwidth a GPU can drive across all of its peers simultaneously.
+//!
+//! A [`Connection`] carries both sets: `conflict` feeds the scheduler's
+//! communication-dependency checks, `path` feeds the simulator's fluid
+//! bandwidth sharing.
+
+use crate::ids::{ConnectionId, NicId, NodeId, Rank, ResourceId};
+use crate::params::{FabricParams, LinkParams};
+use crate::resset::ResourceSet;
+use serde::{Deserialize, Serialize};
+
+/// Whether a connection stays inside a server or crosses the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathKind {
+    /// NVLink/NVSwitch path inside one server.
+    Intra,
+    /// RoCE path between servers.
+    Inter {
+        /// Whether the path goes through the aggregation tier of the Clos.
+        cross_rack: bool,
+    },
+}
+
+/// What a [`ResourceId`] denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Aggregate NVLink egress port of a GPU (capacity resource).
+    GpuTx(Rank),
+    /// Aggregate NVLink ingress port of a GPU (capacity resource).
+    GpuRx(Rank),
+    /// Transmit direction of a NIC (conflict resource).
+    NicTx(NicId),
+    /// Receive direction of a NIC (conflict resource).
+    NicRx(NicId),
+    /// The NVLink channel between an ordered intra-node GPU pair
+    /// (conflict resource).
+    PairChan(Rank, Rank),
+}
+
+/// A logical connection between an ordered pair of GPUs, together with the
+/// contention resources it occupies and the cost parameters of its path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Dense id: `src.index() * n_ranks + dst.index()`.
+    pub id: ConnectionId,
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Path classification.
+    pub kind: PathKind,
+    /// Conflict resources: the communication-dependency domain.
+    pub conflict: ResourceSet,
+    /// All capacity resources traversed (superset of `conflict`), used for
+    /// fluid bandwidth sharing in the simulator.
+    pub path: ResourceSet,
+    /// Cost parameters of the bottleneck link on this path.
+    pub params: LinkParams,
+    /// Extra one-way latency beyond `params.alpha_ns` (cross-rack hops).
+    pub extra_latency_ns: f64,
+}
+
+impl Connection {
+    /// Total startup latency of one task on this connection.
+    pub fn alpha_ns(&self) -> f64 {
+        self.params.alpha_ns + self.extra_latency_ns
+    }
+
+    /// Serial (uncontended, single fully-capable sender) time to move
+    /// `bytes` over this connection.
+    pub fn serial_cost_ns(&self, bytes: u64) -> f64 {
+        self.params.serial_cost_ns(bytes) + self.extra_latency_ns
+    }
+}
+
+/// Shape of a cluster: how many servers, GPUs and NICs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of servers.
+    pub n_nodes: u32,
+    /// GPUs per server.
+    pub gpus_per_node: u32,
+    /// NICs per server. Must divide `gpus_per_node`.
+    pub nics_per_node: u32,
+}
+
+impl ClusterSpec {
+    /// Total number of GPU ranks.
+    pub fn n_ranks(&self) -> u32 {
+        self.n_nodes * self.gpus_per_node
+    }
+}
+
+/// A fully-resolved cluster topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    spec: ClusterSpec,
+    fabric: FabricParams,
+    /// Human-readable name ("a100-2x8", …) used in reports.
+    name: String,
+}
+
+impl Topology {
+    /// Build a topology from a spec and fabric parameters.
+    ///
+    /// # Panics
+    /// Panics if `nics_per_node` does not divide `gpus_per_node`, or any
+    /// dimension is zero.
+    pub fn new(name: impl Into<String>, spec: ClusterSpec, fabric: FabricParams) -> Self {
+        assert!(spec.n_nodes >= 1, "need at least one node");
+        assert!(spec.gpus_per_node >= 1, "need at least one GPU per node");
+        assert!(spec.nics_per_node >= 1, "need at least one NIC per node");
+        assert_eq!(
+            spec.gpus_per_node % spec.nics_per_node,
+            0,
+            "NICs must evenly share the node's GPUs"
+        );
+        Self {
+            spec,
+            fabric,
+            name: name.into(),
+        }
+    }
+
+    /// The paper's A100 testbed shape: `n_nodes` servers of `gpus_per_node`
+    /// A100s, two GPUs per 200 Gb/s NIC.
+    pub fn a100(n_nodes: u32, gpus_per_node: u32) -> Self {
+        let nics = (gpus_per_node / 2).max(1);
+        Self::new(
+            format!("a100-{n_nodes}x{gpus_per_node}"),
+            ClusterSpec {
+                n_nodes,
+                gpus_per_node,
+                nics_per_node: nics,
+            },
+            FabricParams::a100(),
+        )
+    }
+
+    /// A DGX-H100-class cluster: 400 Gb/s NIC per GPU (extension beyond the
+    /// paper's testbeds, for forward-looking experiments).
+    pub fn h100(n_nodes: u32, gpus_per_node: u32) -> Self {
+        Self::new(
+            format!("h100-{n_nodes}x{gpus_per_node}"),
+            ClusterSpec {
+                n_nodes,
+                gpus_per_node,
+                nics_per_node: gpus_per_node,
+            },
+            FabricParams::h100(),
+        )
+    }
+
+    /// The V100 cluster of §5.2 (100 Gb/s RoCE).
+    pub fn v100(n_nodes: u32, gpus_per_node: u32) -> Self {
+        let nics = (gpus_per_node / 2).max(1);
+        Self::new(
+            format!("v100-{n_nodes}x{gpus_per_node}"),
+            ClusterSpec {
+                n_nodes,
+                gpus_per_node,
+                nics_per_node: nics,
+            },
+            FabricParams::v100(),
+        )
+    }
+
+    /// The four topologies of Table 3: Topo1 = 2×4, Topo2 = 2×8,
+    /// Topo3 = 4×4, Topo4 = 4×8 (A100 fabric).
+    pub fn table3_topo(i: usize) -> Self {
+        match i {
+            1 => Self::a100(2, 4),
+            2 => Self::a100(2, 8),
+            3 => Self::a100(4, 4),
+            4 => Self::a100(4, 8),
+            _ => panic!("Table 3 defines Topo1..Topo4, got Topo{i}"),
+        }
+    }
+
+    /// Topology name used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shape spec.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// Fabric cost parameters.
+    pub fn fabric(&self) -> &FabricParams {
+        &self.fabric
+    }
+
+    /// Total number of ranks.
+    pub fn n_ranks(&self) -> u32 {
+        self.spec.n_ranks()
+    }
+
+    /// Number of servers.
+    pub fn n_nodes(&self) -> u32 {
+        self.spec.n_nodes
+    }
+
+    /// GPUs per server.
+    pub fn gpus_per_node(&self) -> u32 {
+        self.spec.gpus_per_node
+    }
+
+    /// Iterate over all ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.n_ranks()).map(Rank::new)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        debug_assert!(rank.0 < self.n_ranks());
+        NodeId::new(rank.0 / self.spec.gpus_per_node)
+    }
+
+    /// Rank's index within its node.
+    pub fn local_index(&self, rank: Rank) -> u32 {
+        rank.0 % self.spec.gpus_per_node
+    }
+
+    /// The ranks hosted on `node`, in ascending order.
+    pub fn ranks_on_node(&self, node: NodeId) -> impl Iterator<Item = Rank> {
+        let base = node.0 * self.spec.gpus_per_node;
+        (base..base + self.spec.gpus_per_node).map(Rank::new)
+    }
+
+    /// Do two ranks share a server?
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The NIC serving `rank` for inter-node traffic.
+    pub fn nic_of(&self, rank: Rank) -> NicId {
+        let gpus_per_nic = self.spec.gpus_per_node / self.spec.nics_per_node;
+        let node = self.node_of(rank);
+        let local_nic = self.local_index(rank) / gpus_per_nic;
+        NicId::new(node.0 * self.spec.nics_per_node + local_nic)
+    }
+
+    /// Total number of NICs in the cluster.
+    pub fn n_nics(&self) -> u32 {
+        self.spec.n_nodes * self.spec.nics_per_node
+    }
+
+    /// Rack (ToR switch) of a node.
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        node.0 / self.fabric.servers_per_rack
+    }
+
+    /// Does traffic between the two ranks cross the aggregation tier?
+    pub fn is_cross_rack(&self, a: Rank, b: Rank) -> bool {
+        self.rack_of(self.node_of(a)) != self.rack_of(self.node_of(b))
+    }
+
+    /// Ordered intra-node pairs per node.
+    fn pairs_per_node(&self) -> u32 {
+        self.spec.gpus_per_node * (self.spec.gpus_per_node - 1)
+    }
+
+    /// Total number of contention resources:
+    /// `2·n_ranks` GPU ports + `2·n_nics` NIC directions + the per-node
+    /// ordered-pair NVLink channels.
+    pub fn n_resources(&self) -> u32 {
+        2 * self.n_ranks() + 2 * self.n_nics() + self.spec.n_nodes * self.pairs_per_node()
+    }
+
+    /// NVLink egress port of a GPU (capacity resource).
+    pub fn gpu_tx(&self, rank: Rank) -> ResourceId {
+        ResourceId::new(rank.0)
+    }
+
+    /// NVLink ingress port of a GPU (capacity resource).
+    pub fn gpu_rx(&self, rank: Rank) -> ResourceId {
+        ResourceId::new(self.n_ranks() + rank.0)
+    }
+
+    /// Transmit direction of a NIC (conflict resource).
+    pub fn nic_tx(&self, nic: NicId) -> ResourceId {
+        ResourceId::new(2 * self.n_ranks() + nic.0)
+    }
+
+    /// Receive direction of a NIC (conflict resource).
+    pub fn nic_rx(&self, nic: NicId) -> ResourceId {
+        ResourceId::new(2 * self.n_ranks() + self.n_nics() + nic.0)
+    }
+
+    /// The NVLink channel between an ordered intra-node pair
+    /// (conflict resource).
+    ///
+    /// # Panics
+    /// Panics when the ranks are on different nodes or equal.
+    pub fn pair_chan(&self, src: Rank, dst: Rank) -> ResourceId {
+        assert!(self.same_node(src, dst), "pair channel is intra-node only");
+        assert_ne!(src, dst);
+        let g = self.spec.gpus_per_node;
+        let node = self.node_of(src).0;
+        let ls = self.local_index(src);
+        let ld = self.local_index(dst);
+        let slot = ls * (g - 1) + if ld < ls { ld } else { ld - 1 };
+        ResourceId::new(2 * self.n_ranks() + 2 * self.n_nics() + node * self.pairs_per_node() + slot)
+    }
+
+    /// Decode a resource id back to its meaning.
+    pub fn resource_kind(&self, res: ResourceId) -> ResourceKind {
+        let n = self.n_ranks();
+        let nics = self.n_nics();
+        let pair_base = 2 * n + 2 * nics;
+        if res.0 < n {
+            ResourceKind::GpuTx(Rank::new(res.0))
+        } else if res.0 < 2 * n {
+            ResourceKind::GpuRx(Rank::new(res.0 - n))
+        } else if res.0 < 2 * n + nics {
+            ResourceKind::NicTx(NicId::new(res.0 - 2 * n))
+        } else if res.0 < pair_base {
+            ResourceKind::NicRx(NicId::new(res.0 - 2 * n - nics))
+        } else if res.0 < self.n_resources() {
+            let g = self.spec.gpus_per_node;
+            let idx = res.0 - pair_base;
+            let node = idx / self.pairs_per_node();
+            let slot = idx % self.pairs_per_node();
+            let ls = slot / (g - 1);
+            let rem = slot % (g - 1);
+            let ld = if rem < ls { rem } else { rem + 1 };
+            ResourceKind::PairChan(
+                Rank::new(node * g + ls),
+                Rank::new(node * g + ld),
+            )
+        } else {
+            panic!("resource {res} out of range for topology {}", self.name)
+        }
+    }
+
+    /// Cost parameters of a resource.
+    pub fn resource_params(&self, res: ResourceId) -> LinkParams {
+        match self.resource_kind(res) {
+            ResourceKind::GpuTx(_) | ResourceKind::GpuRx(_) => self.fabric.port,
+            ResourceKind::NicTx(_) | ResourceKind::NicRx(_) => self.fabric.inter,
+            ResourceKind::PairChan(_, _) => self.fabric.intra,
+        }
+    }
+
+    /// Dense connection id for an ordered pair.
+    pub fn connection_id(&self, src: Rank, dst: Rank) -> ConnectionId {
+        ConnectionId::new(src.0 * self.n_ranks() + dst.0)
+    }
+
+    /// Decode a connection id back to its ordered pair.
+    pub fn connection_endpoints(&self, id: ConnectionId) -> (Rank, Rank) {
+        let n = self.n_ranks();
+        (Rank::new(id.0 / n), Rank::new(id.0 % n))
+    }
+
+    /// Resolve the connection between an ordered pair of distinct ranks.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` — a rank never transfers to itself; local
+    /// copies are not transmission tasks.
+    pub fn connection(&self, src: Rank, dst: Rank) -> Connection {
+        assert_ne!(src, dst, "self-connection {src}->{dst} is not a transfer");
+        assert!(src.0 < self.n_ranks() && dst.0 < self.n_ranks());
+        if self.same_node(src, dst) {
+            let chan = self.pair_chan(src, dst);
+            Connection {
+                id: self.connection_id(src, dst),
+                src,
+                dst,
+                kind: PathKind::Intra,
+                conflict: ResourceSet::from_slice(&[chan]),
+                path: ResourceSet::from_slice(&[chan, self.gpu_tx(src), self.gpu_rx(dst)]),
+                params: self.fabric.intra,
+                extra_latency_ns: 0.0,
+            }
+        } else {
+            let cross = self.is_cross_rack(src, dst);
+            let tx = self.nic_tx(self.nic_of(src));
+            let rx = self.nic_rx(self.nic_of(dst));
+            Connection {
+                id: self.connection_id(src, dst),
+                src,
+                dst,
+                kind: PathKind::Inter { cross_rack: cross },
+                conflict: ResourceSet::from_slice(&[tx, rx]),
+                path: ResourceSet::from_slice(&[tx, rx]),
+                params: self.fabric.inter,
+                extra_latency_ns: if cross { self.fabric.cross_rack_extra_ns } else { 0.0 },
+            }
+        }
+    }
+
+    /// Do the two ordered pairs have a *communication dependency* (shared
+    /// conflict resource)? This is the relation §3 defines.
+    pub fn interferes(&self, a: (Rank, Rank), b: (Rank, Rank)) -> bool {
+        let ca = self.connection(a.0, a.1);
+        let cb = self.connection(b.0, b.1);
+        ca.conflict.intersects(&cb.conflict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo2() -> Topology {
+        Topology::a100(2, 8)
+    }
+
+    #[test]
+    fn rank_node_nic_mapping() {
+        let t = topo2();
+        assert_eq!(t.n_ranks(), 16);
+        assert_eq!(t.node_of(Rank::new(0)), NodeId::new(0));
+        assert_eq!(t.node_of(Rank::new(7)), NodeId::new(0));
+        assert_eq!(t.node_of(Rank::new(8)), NodeId::new(1));
+        // 8 GPUs / 4 NICs => 2 GPUs per NIC.
+        assert_eq!(t.nic_of(Rank::new(0)), t.nic_of(Rank::new(1)));
+        assert_ne!(t.nic_of(Rank::new(1)), t.nic_of(Rank::new(2)));
+        assert_eq!(t.nic_of(Rank::new(8)), NicId::new(4));
+    }
+
+    #[test]
+    fn intra_connection_conflicts_on_pair_channel() {
+        let t = topo2();
+        let c = t.connection(Rank::new(0), Rank::new(3));
+        assert_eq!(c.kind, PathKind::Intra);
+        assert_eq!(c.conflict.len(), 1);
+        assert_eq!(
+            t.resource_kind(c.conflict.as_slice()[0]),
+            ResourceKind::PairChan(Rank::new(0), Rank::new(3))
+        );
+        // Path additionally traverses the GPU ports.
+        assert!(c.path.contains(t.gpu_tx(Rank::new(0))));
+        assert!(c.path.contains(t.gpu_rx(Rank::new(3))));
+    }
+
+    #[test]
+    fn inter_connection_uses_nics() {
+        let t = topo2();
+        let c = t.connection(Rank::new(0), Rank::new(8));
+        assert_eq!(c.kind, PathKind::Inter { cross_rack: false });
+        assert!(matches!(
+            t.resource_kind(c.conflict.as_slice()[0]),
+            ResourceKind::NicTx(_)
+        ));
+        assert!(matches!(
+            t.resource_kind(c.conflict.as_slice()[1]),
+            ResourceKind::NicRx(_)
+        ));
+    }
+
+    #[test]
+    fn cross_rack_adds_latency() {
+        let t = Topology::a100(4, 8); // two servers per rack
+        let near = t.connection(Rank::new(0), Rank::new(8));
+        let far = t.connection(Rank::new(0), Rank::new(16));
+        assert_eq!(near.extra_latency_ns, 0.0);
+        assert!(far.extra_latency_ns > 0.0);
+        assert!(far.serial_cost_ns(1 << 20) > near.serial_cost_ns(1 << 20));
+    }
+
+    #[test]
+    fn nic_sharing_creates_interference() {
+        let t = topo2();
+        // Ranks 0 and 1 share a NIC: their inter-node sends interfere.
+        assert!(t.interferes((Rank::new(0), Rank::new(8)), (Rank::new(1), Rank::new(9))));
+        // Ranks 0 and 2 use distinct NICs and distinct destinations.
+        assert!(!t.interferes((Rank::new(0), Rank::new(8)), (Rank::new(2), Rank::new(10))));
+    }
+
+    #[test]
+    fn intra_interference_is_per_pair_not_per_port() {
+        let t = topo2();
+        // Two transfers between the same ordered pair interfere.
+        assert!(t.interferes((Rank::new(0), Rank::new(1)), (Rank::new(0), Rank::new(1))));
+        // Sends from the same GPU to different peers do NOT conflict
+        // (mesh algorithms legitimately fan out) — the shared egress port
+        // is a capacity resource, not a conflict resource.
+        assert!(!t.interferes((Rank::new(0), Rank::new(1)), (Rank::new(0), Rank::new(2))));
+        // Opposite directions of a pair are distinct channels.
+        assert!(!t.interferes((Rank::new(0), Rank::new(1)), (Rank::new(1), Rank::new(0))));
+    }
+
+    #[test]
+    fn connection_id_roundtrip() {
+        let t = topo2();
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s == d {
+                    continue;
+                }
+                let id = t.connection_id(Rank::new(s), Rank::new(d));
+                assert_eq!(t.connection_endpoints(id), (Rank::new(s), Rank::new(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn resource_ids_decode() {
+        let t = topo2();
+        for r in 0..t.n_resources() {
+            match t.resource_kind(ResourceId::new(r)) {
+                ResourceKind::GpuTx(g) => assert_eq!(t.gpu_tx(g).0, r),
+                ResourceKind::GpuRx(g) => assert_eq!(t.gpu_rx(g).0, r),
+                ResourceKind::NicTx(n) => assert_eq!(t.nic_tx(n).0, r),
+                ResourceKind::NicRx(n) => assert_eq!(t.nic_rx(n).0, r),
+                ResourceKind::PairChan(a, b) => assert_eq!(t.pair_chan(a, b).0, r),
+            }
+        }
+    }
+
+    #[test]
+    fn pair_chan_distinct_per_ordered_pair() {
+        let t = Topology::a100(2, 4);
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..2u32 {
+            for i in 0..4u32 {
+                for j in 0..4u32 {
+                    if i == j {
+                        continue;
+                    }
+                    let a = Rank::new(node * 4 + i);
+                    let b = Rank::new(node * 4 + j);
+                    assert!(seen.insert(t.pair_chan(a, b)), "duplicate channel {a}->{b}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-connection")]
+    fn self_connection_panics() {
+        topo2().connection(Rank::new(3), Rank::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node only")]
+    fn cross_node_pair_chan_panics() {
+        topo2().pair_chan(Rank::new(0), Rank::new(8));
+    }
+
+    #[test]
+    fn table3_presets() {
+        assert_eq!(Topology::table3_topo(1).n_ranks(), 8);
+        assert_eq!(Topology::table3_topo(2).n_ranks(), 16);
+        assert_eq!(Topology::table3_topo(3).n_ranks(), 16);
+        assert_eq!(Topology::table3_topo(4).n_ranks(), 32);
+    }
+
+    #[test]
+    fn large_emulated_scale() {
+        // Fig. 10a emulates up to 1024 GPUs offline — topology math must
+        // hold at that scale without materializing O(N^2) state.
+        let t = Topology::a100(128, 8);
+        assert_eq!(t.n_ranks(), 1024);
+        let c = t.connection(Rank::new(0), Rank::new(1023));
+        assert!(matches!(c.kind, PathKind::Inter { .. }));
+        let c2 = t.connection(Rank::new(1020), Rank::new(1023));
+        assert!(matches!(c2.kind, PathKind::Intra));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn interference_is_symmetric_and_resources_decode(
+                nodes in 1u32..6,
+                g_half in 1u32..5,
+                a in 0u32..1000,
+                b in 0u32..1000,
+                c in 0u32..1000,
+                d in 0u32..1000,
+            ) {
+                let g = 2 * g_half;
+                let t = Topology::a100(nodes, g);
+                let n = t.n_ranks();
+                let (a, b, c, d) = (a % n, b % n, c % n, d % n);
+                prop_assume!(a != b && c != d);
+                let pa = (Rank::new(a), Rank::new(b));
+                let pb = (Rank::new(c), Rank::new(d));
+                prop_assert_eq!(t.interferes(pa, pb), t.interferes(pb, pa));
+                // A pair always interferes with itself.
+                prop_assert!(t.interferes(pa, pa));
+                // Every resource id decodes and re-encodes.
+                for r in 0..t.n_resources() {
+                    match t.resource_kind(ResourceId::new(r)) {
+                        ResourceKind::GpuTx(x) => prop_assert_eq!(t.gpu_tx(x).0, r),
+                        ResourceKind::GpuRx(x) => prop_assert_eq!(t.gpu_rx(x).0, r),
+                        ResourceKind::NicTx(x) => prop_assert_eq!(t.nic_tx(x).0, r),
+                        ResourceKind::NicRx(x) => prop_assert_eq!(t.nic_rx(x).0, r),
+                        ResourceKind::PairChan(x, y) => {
+                            prop_assert_eq!(t.pair_chan(x, y).0, r)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_gpu_nodes_have_no_pair_channels() {
+        let t = Topology::new(
+            "tiny",
+            ClusterSpec {
+                n_nodes: 4,
+                gpus_per_node: 1,
+                nics_per_node: 1,
+            },
+            FabricParams::a100(),
+        );
+        assert_eq!(t.n_resources(), 2 * 4 + 2 * 4);
+        let c = t.connection(Rank::new(0), Rank::new(3));
+        assert!(matches!(c.kind, PathKind::Inter { .. }));
+    }
+}

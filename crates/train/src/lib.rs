@@ -1,0 +1,27 @@
+//! # rescc-train
+//!
+//! End-to-end distributed-training throughput model (§5.5 / Fig. 13):
+//! Megatron-style GPT-3 (tensor parallel) and T5 (data parallel) training
+//! whose collective times come from the simulated CCL backends, including
+//! the SM-contention coupling between communication TB footprint and
+//! compute throughput.
+//!
+//! ```no_run
+//! use rescc_train::{train_throughput, CclChoice, ModelConfig, ParallelConfig, TrainConfig};
+//!
+//! let report = train_throughput(
+//!     &ModelConfig::gpt3("6.7B"),
+//!     &ParallelConfig::gpt3(2, 16),
+//!     CclChoice::Resccl,
+//!     &TrainConfig::default(),
+//! ).unwrap();
+//! println!("{:.1} samples/s", report.samples_per_s);
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+mod sim;
+
+pub use model::{Family, ModelConfig, ParallelConfig};
+pub use sim::{train_throughput, CclChoice, TrainConfig, TrainReport};

@@ -1,0 +1,94 @@
+//! Soundness anchors: no simulated completion may beat the information-
+//! theoretic lower bounds of its DAG (critical path, bottleneck resource),
+//! and pipelined completions must stay below the fully-serial upper bound.
+
+use rescc::algos::{hm_allgather, hm_allreduce, ring_allgather, taccl_like_allgather};
+use rescc::backends::{Backend, MscclBackend, NcclBackend, RescclBackend};
+use rescc::ir::{lower_bound_ns, DepDag};
+use rescc::lang::AlgoSpec;
+use rescc::topology::Topology;
+
+const MB: u64 = 1 << 20;
+
+/// Per-task serial cost under the topology's parameters for a single
+/// invocation of `chunk_bytes` at the TB-limited single-stream rate.
+fn task_cost(topo: &Topology, chunk_bytes: u64) -> impl Fn(&rescc::ir::Task) -> f64 + Copy + '_ {
+    move |t: &rescc::ir::Task| {
+        let conn = topo.connection(t.src, t.dst);
+        conn.params.alpha_ns
+            + conn.extra_latency_ns
+            + chunk_bytes as f64 / conn.params.tb_bw_bytes_per_ns
+    }
+}
+
+fn check_bounds(spec: &AlgoSpec, topo: &Topology) {
+    let dag = DepDag::build(spec, topo).unwrap();
+    let chunk = MB;
+    let n_mb = 4u64;
+    let buffer = n_mb * spec.n_chunks() as u64 * chunk;
+
+    // Lower bound for n micro-batches: at least the single-micro-batch
+    // bound once (pipelining can overlap the rest), and at least the
+    // bottleneck's full n× serial load at line rate.
+    let single = lower_bound_ns(&dag, task_cost(topo, chunk));
+    let line_rate_cost = |t: &rescc::ir::Task| {
+        let conn = topo.connection(t.src, t.dst);
+        chunk as f64 * conn.params.beta_ns_per_byte
+    };
+    let bottleneck_line = rescc::ir::bottleneck_resource_ns(&dag, line_rate_cost) * n_mb as f64;
+    let lower = single.max(bottleneck_line);
+
+    // Upper bound: every invocation strictly serialized at TB rate.
+    let serial_all: f64 = dag
+        .tasks()
+        .iter()
+        .map(|t| task_cost(topo, chunk)(t))
+        .sum::<f64>()
+        * n_mb as f64;
+
+    for backend in [
+        &RescclBackend::default() as &dyn Backend,
+        &NcclBackend::default(),
+        &MscclBackend { interpreter_overhead_ns: 0.0, ..MscclBackend::default() },
+    ] {
+        let rep = backend.run_unchecked(spec, topo, buffer, chunk).unwrap();
+        assert!(
+            rep.sim.completion_ns >= lower * 0.999,
+            "{} on {} finished in {:.1}us, below the lower bound {:.1}us",
+            backend.name(),
+            spec.name(),
+            rep.sim.completion_ns / 1e3,
+            lower / 1e3
+        );
+        assert!(
+            rep.sim.completion_ns <= serial_all * 1.5,
+            "{} on {} took {:.1}us, above even the serial bound {:.1}us",
+            backend.name(),
+            spec.name(),
+            rep.sim.completion_ns / 1e3,
+            serial_all / 1e3
+        );
+    }
+}
+
+#[test]
+fn bounds_hold_for_ring() {
+    check_bounds(&ring_allgather(8), &Topology::a100(1, 8));
+    check_bounds(&ring_allgather(8), &Topology::a100(2, 4));
+}
+
+#[test]
+fn bounds_hold_for_hm() {
+    check_bounds(&hm_allgather(2, 4), &Topology::a100(2, 4));
+    check_bounds(&hm_allreduce(2, 4), &Topology::a100(2, 4));
+}
+
+#[test]
+fn bounds_hold_for_synthesized() {
+    check_bounds(&taccl_like_allgather(2, 4), &Topology::a100(2, 4));
+}
+
+#[test]
+fn bounds_hold_on_v100() {
+    check_bounds(&hm_allgather(2, 4), &Topology::v100(2, 4));
+}

@@ -1,0 +1,98 @@
+//! Fault-injection integration tests: the pipeline must stay *correct*
+//! under adverse conditions (latency jitter, degraded links) and the
+//! timing must respond the way a real cluster would.
+
+use rescc::algos::{hm_allgather, hm_allreduce};
+use rescc::core::Compiler;
+use rescc::sim::SimConfig;
+use rescc::topology::{Rank, Topology};
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn jitter_never_breaks_correctness() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allreduce(2, 4), &topo)
+        .unwrap();
+    for seed in 0..5u64 {
+        let cfg = SimConfig::default().with_jitter(0.8, seed);
+        let rep = plan.run_with(32 * MB, MB, &cfg).unwrap();
+        assert_eq!(rep.data_valid, Some(true), "seed {seed}");
+    }
+}
+
+#[test]
+fn jitter_is_reproducible_per_seed() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allgather(2, 4), &topo)
+        .unwrap();
+    let cfg = SimConfig::default().with_jitter(0.5, 7);
+    let a = plan.run_with(32 * MB, MB, &cfg).unwrap();
+    let b = plan.run_with(32 * MB, MB, &cfg).unwrap();
+    assert_eq!(a, b);
+    let other = plan
+        .run_with(32 * MB, MB, &SimConfig::default().with_jitter(0.5, 8))
+        .unwrap();
+    assert_ne!(a.completion_ns, other.completion_ns);
+}
+
+#[test]
+fn degrading_a_bottleneck_nic_slows_more_than_an_nvlink() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allreduce(2, 4), &topo)
+        .unwrap();
+    let base = plan.run_with(128 * MB, MB, &SimConfig::default().without_validation()).unwrap();
+
+    // Degrade one NIC to 25%.
+    let nic = topo.nic_tx(topo.nic_of(Rank::new(0)));
+    let cfg_nic = SimConfig::default()
+        .without_validation()
+        .with_degraded(nic, 0.25);
+    let slow_nic = plan.run_with(128 * MB, MB, &cfg_nic).unwrap();
+
+    // Degrade one NVLink pair channel to 25%.
+    let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+    let cfg_chan = SimConfig::default()
+        .without_validation()
+        .with_degraded(chan, 0.25);
+    let slow_chan = plan.run_with(128 * MB, MB, &cfg_chan).unwrap();
+
+    assert!(slow_nic.completion_ns > base.completion_ns * 1.2);
+    assert!(
+        slow_nic.completion_ns > slow_chan.completion_ns,
+        "a degraded NIC ({:.1}ms) must hurt more than a degraded NVLink \
+         channel ({:.1}ms); baseline {:.1}ms",
+        slow_nic.completion_ns / 1e6,
+        slow_chan.completion_ns / 1e6,
+        base.completion_ns / 1e6
+    );
+}
+
+#[test]
+fn degraded_runs_stay_correct() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allreduce(2, 4), &topo)
+        .unwrap();
+    let nic = topo.nic_rx(topo.nic_of(Rank::new(5)));
+    let cfg = SimConfig::default().with_degraded(nic, 0.1);
+    let rep = plan.run_with(16 * MB, MB, &cfg).unwrap();
+    assert_eq!(rep.data_valid, Some(true));
+}
+
+#[test]
+fn combined_faults() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allgather(2, 4), &topo)
+        .unwrap();
+    let nic = topo.nic_tx(topo.nic_of(Rank::new(2)));
+    let cfg = SimConfig::default()
+        .with_jitter(0.4, 99)
+        .with_degraded(nic, 0.5);
+    let rep = plan.run_with(32 * MB, MB, &cfg).unwrap();
+    assert_eq!(rep.data_valid, Some(true));
+}

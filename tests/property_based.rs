@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * schedules cover the DAG, respect data deps, never co-locate
+//!   conflicting tasks,
+//! * allocations cover every task side exactly once per micro-batch slice,
+//! * randomly generated broadcast-tree AllGathers and reduction-tree
+//!   collectives are executed correctly by the full pipeline,
+//! * pretty-printed DSL reparses to the same AST.
+
+use proptest::prelude::*;
+use rescc::algos::{compose_allreduce, reverse_allgather};
+use rescc::lang::verify_collective;
+use rescc::alloc::TbAllocation;
+use rescc::core::Compiler;
+use rescc::ir::DepDag;
+use rescc::lang::{parse, pretty, AlgoBuilder, AlgoSpec, OpType};
+use rescc::sched::{hpds, round_robin};
+use rescc::topology::Topology;
+
+const MB: u64 = 1 << 20;
+
+/// Build a random-but-valid AllGather: for every chunk `c`, a random
+/// spanning broadcast order over all ranks starting at the owner. Any such
+/// spec is a correct AllGather, whatever the shape — the pipeline must
+/// handle them all.
+fn random_allgather(n: u32, seed: &[u32]) -> AlgoSpec {
+    let mut b = AlgoBuilder::new("random-ag", OpType::AllGather, n);
+    for c in 0..n {
+        // A permutation of receivers derived from the seed: each rank
+        // receives chunk c from a random rank that already holds it.
+        let mut holders = vec![c];
+        let mut step = 0u32;
+        let mut remaining: Vec<u32> = (0..n).filter(|&r| r != c).collect();
+        let mut i = 0usize;
+        while !remaining.is_empty() {
+            let pick = seed[(c as usize + i) % seed.len()] as usize % remaining.len();
+            let dst = remaining.swap_remove(pick);
+            let src = holders[seed[(c as usize + i + 1) % seed.len()] as usize % holders.len()];
+            b.recv(src, dst, step, c);
+            holders.push(dst);
+            step += 1;
+            i += 1;
+        }
+    }
+    b.build().expect("random broadcast trees are well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_allgathers_execute_correctly(
+        shape_idx in 0usize..4,
+        seed in prop::collection::vec(0u32..1000, 8..32),
+    ) {
+        let (nodes, g) = [(1u32, 4u32), (2, 2), (2, 4), (4, 2)][shape_idx];
+        let topo = Topology::a100(nodes, g);
+        let spec = random_allgather(nodes * g, &seed);
+        let plan = Compiler::new().compile_spec(&spec, &topo).unwrap();
+        let rep = plan.run(spec.n_chunks() as u64 * 2 * MB, MB).unwrap();
+        prop_assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn random_allgather_reversal_is_correct_reduce_scatter(
+        seed in prop::collection::vec(0u32..1000, 8..24),
+    ) {
+        let topo = Topology::a100(2, 4);
+        let ag = random_allgather(8, &seed);
+        let rs = reverse_allgather(&ag);
+        let plan = Compiler::new().compile_spec(&rs, &topo).unwrap();
+        let rep = plan.run(16 * MB, MB).unwrap();
+        prop_assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn random_composed_allreduce_is_correct(
+        seed in prop::collection::vec(0u32..1000, 8..24),
+    ) {
+        let topo = Topology::a100(2, 4);
+        let ag = random_allgather(8, &seed);
+        let ar = compose_allreduce("random-ar", &reverse_allgather(&ag), &ag);
+        let plan = Compiler::new().compile_spec(&ar, &topo).unwrap();
+        let rep = plan.run(16 * MB, MB).unwrap();
+        prop_assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn schedulers_always_produce_valid_schedules(
+        shape_idx in 0usize..4,
+        seed in prop::collection::vec(0u32..1000, 8..32),
+    ) {
+        let (nodes, g) = [(1u32, 8u32), (2, 4), (4, 2), (2, 8)][shape_idx];
+        let topo = Topology::a100(nodes, g);
+        let spec = random_allgather(nodes * g, &seed);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        let h = hpds(&dag);
+        prop_assert!(h.validate(&dag).is_ok(), "hpds invalid: {:?}", h.validate(&dag));
+        let rr = round_robin(&dag);
+        prop_assert!(rr.validate(&dag).is_ok());
+        // Both schedulers schedule exactly the DAG, once.
+        prop_assert_eq!(h.n_tasks(), dag.len());
+        prop_assert_eq!(rr.n_tasks(), dag.len());
+    }
+
+    #[test]
+    fn allocations_always_validate(
+        seed in prop::collection::vec(0u32..1000, 8..32),
+        channels in 1u32..6,
+    ) {
+        let topo = Topology::a100(2, 4);
+        let spec = random_allgather(8, &seed);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        let sched = hpds(&dag);
+        let state = TbAllocation::state_based(&dag, &sched);
+        prop_assert!(state.validate(&dag, &sched).is_ok());
+        let conn = TbAllocation::connection_based(&dag, &sched, channels);
+        prop_assert!(conn.validate(&dag, &sched).is_ok());
+        // State-based merging never uses more TBs than one-per-endpoint.
+        let conn1 = TbAllocation::connection_based(&dag, &sched, 1);
+        prop_assert!(state.total_tbs() <= conn1.total_tbs());
+    }
+
+    #[test]
+    fn dsl_pretty_print_roundtrips(
+        n in 2u32..16,
+        a in 0i64..100,
+        b in 1i64..100,
+        c in 1i64..100,
+    ) {
+        // Generate a program with a moderately nasty expression and check
+        // parse(pretty(parse(src))) == parse(src).
+        let src = format!(
+            "def ResCCLAlgo(nRanks={n}, OpType=\"Allgather\"):\n    \
+             x = ({a}+{b})*{c}-{a}%({b}+1)/{c}\n    \
+             for r in range(0, {n}):\n        \
+                 transfer(r, (r+1)%{n}, 0, r, recv)\n"
+        );
+        let p1 = parse(&src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn static_verifier_agrees_with_simulator(
+        seed in prop::collection::vec(0u32..1000, 8..24),
+        break_it in proptest::bool::ANY,
+    ) {
+        // For random broadcast-tree AllGathers (and randomly corrupted
+        // variants), the O(tasks) static verifier and the discrete-event
+        // simulator's runtime data check must agree on correctness.
+        let topo = Topology::a100(2, 4);
+        let spec = random_allgather(8, &seed);
+        let spec = if break_it {
+            // Drop the last transfer: some rank misses a chunk.
+            let ts = spec.transfers()[..spec.transfers().len() - 1].to_vec();
+            AlgoSpec::new("broken", OpType::AllGather, 8, ts).unwrap()
+        } else {
+            spec
+        };
+        let static_ok = verify_collective(&spec).is_ok();
+        let mut compiler = Compiler::new();
+        compiler.verify = false; // let the simulator be the judge
+        let sim_ok = compiler
+            .compile_spec(&spec, &topo)
+            .and_then(|plan| plan.run(16 * MB, MB))
+            .is_ok();
+        prop_assert_eq!(static_ok, sim_ok, "verifier and simulator disagree");
+        prop_assert_eq!(static_ok, !break_it);
+    }
+
+    #[test]
+    fn hpds_deterministic_across_runs(
+        seed in prop::collection::vec(0u32..1000, 8..16),
+    ) {
+        let topo = Topology::a100(2, 4);
+        let spec = random_allgather(8, &seed);
+        let dag = DepDag::build(&spec, &topo).unwrap();
+        prop_assert_eq!(hpds(&dag), hpds(&dag));
+    }
+}

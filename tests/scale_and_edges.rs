@@ -1,0 +1,114 @@
+//! Scale stress and edge cases that only show up at the seams:
+//! degenerate micro-batch counts, channel counts exceeding micro-batches,
+//! one-chunk buffers, large clusters, and fused execution on multi-node
+//! rings.
+
+use rescc::algos::{
+    hm_allreduce, nccl_rings_allreduce, recursive_halving_doubling_allreduce, ring_allgather,
+};
+use rescc::backends::{Backend, MscclBackend, NcclBackend, RescclBackend};
+use rescc::core::Compiler;
+use rescc::topology::Topology;
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn single_micro_batch_everywhere() {
+    // Buffer so small each chunk fits one invocation — no pipelining at
+    // all; everything must still be correct.
+    let topo = Topology::a100(2, 4);
+    let spec = hm_allreduce(2, 4);
+    for backend in [
+        &NcclBackend::default() as &dyn Backend,
+        &MscclBackend::default(),
+        &RescclBackend::default(),
+    ] {
+        let rep = backend.run(&spec, &topo, 4 * MB, MB).unwrap();
+        assert_eq!(rep.sim.n_micro_batches, 1, "{}", backend.name());
+        assert_eq!(rep.sim.data_valid, Some(true), "{}", backend.name());
+    }
+}
+
+#[test]
+fn more_channels_than_micro_batches() {
+    // 2 micro-batches against 8 channels: most channel TBs have zero work
+    // (their micro-batch window is empty) and must not deadlock the run.
+    let topo = Topology::a100(2, 4);
+    let spec = hm_allreduce(2, 4);
+    let backend = NcclBackend { n_channels: 8 };
+    let rep = backend.run(&spec, &topo, 16 * MB, MB).unwrap();
+    assert_eq!(rep.sim.data_valid, Some(true));
+    // Idle channel TBs still occupy SMs under the rigid model.
+    assert!(rep.sim.tb_stats.iter().any(|t| t.n_invocations == 0));
+}
+
+#[test]
+fn tiny_chunk_many_micro_batches() {
+    // 64 KiB chunks: 32 micro-batches of small invocations — the latency-
+    // dominated regime.
+    let topo = Topology::a100(1, 4);
+    let spec = ring_allgather(4);
+    let rep = RescclBackend::default()
+        .run(&spec, &topo, 8 * MB, 64 << 10)
+        .unwrap();
+    assert_eq!(rep.sim.n_micro_batches, 32);
+    assert_eq!(rep.sim.data_valid, Some(true));
+}
+
+#[test]
+fn large_cluster_compile_and_run() {
+    // 8 nodes × 8 GPUs = 64 ranks: compile through the full pipeline and
+    // simulate a small collective with validation on.
+    let topo = Topology::a100(8, 8);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allreduce(8, 8), &topo)
+        .unwrap();
+    assert!(plan.dag.len() > 3000);
+    let rep = plan.run(64 * MB, MB).unwrap();
+    assert_eq!(rep.data_valid, Some(true));
+}
+
+#[test]
+fn fused_execution_on_multinode_rings() {
+    // Fusion + chain merging across NIC boundaries, with validation.
+    let topo = Topology::a100(2, 8);
+    let spec = nccl_rings_allreduce(2, 8, 4);
+    let rep = RescclBackend::with_fusion()
+        .run(&spec, &topo, 64 * MB, MB)
+        .unwrap();
+    assert_eq!(rep.sim.data_valid, Some(true));
+}
+
+#[test]
+fn h100_preset_runs() {
+    let topo = Topology::h100(2, 8);
+    let spec = recursive_halving_doubling_allreduce(16);
+    let rep = RescclBackend::default()
+        .run(&spec, &topo, 64 * MB, MB)
+        .unwrap();
+    assert_eq!(rep.sim.data_valid, Some(true));
+    // H100 NICs are 2x A100's: the same algorithm must be faster.
+    let a100 = RescclBackend::default()
+        .run(&spec, &Topology::a100(2, 8), 64 * MB, MB)
+        .unwrap();
+    assert!(rep.sim.completion_ns < a100.sim.completion_ns);
+}
+
+#[test]
+fn odd_buffer_sizes_with_ragged_tails() {
+    // Buffer not divisible by chunk count: the final micro-batch is short.
+    let topo = Topology::a100(1, 8);
+    let spec = ring_allgather(8);
+    for buffer in [17 * MB, 100 * MB + 12345, 3 * MB] {
+        let rep = RescclBackend::default().run(&spec, &topo, buffer, MB).unwrap();
+        assert_eq!(rep.sim.data_valid, Some(true), "buffer {buffer}");
+    }
+}
+
+#[test]
+fn two_rank_minimum() {
+    let topo = Topology::a100(1, 2);
+    let spec = ring_allgather(2);
+    let rep = RescclBackend::default().run(&spec, &topo, 8 * MB, MB).unwrap();
+    assert_eq!(rep.sim.data_valid, Some(true));
+}
