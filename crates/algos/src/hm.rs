@@ -23,7 +23,7 @@ pub fn hm_allgather(nodes: u32, g: u32) -> AlgoSpec {
         for r in 0..g {
             let src = node * g + r;
             let own = src; // each GPU owns the chunk with its rank id
-            // Broadcast 1a: full-mesh intra broadcast of the own chunk.
+                           // Broadcast 1a: full-mesh intra broadcast of the own chunk.
             for offset in 0..g - 1 {
                 let dst = (r + offset + 1) % g + node * g;
                 b.recv(src, dst, offset, own);

@@ -99,7 +99,11 @@ mod tests {
                 rx_nics.insert(topo.nic_of(t.dst));
             }
         }
-        assert_eq!(rx_nics.len(), 8, "expected all 8 NICs receiving: {rx_nics:?}");
+        assert_eq!(
+            rx_nics.len(),
+            8,
+            "expected all 8 NICs receiving: {rx_nics:?}"
+        );
     }
 
     #[test]

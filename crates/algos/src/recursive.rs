@@ -15,7 +15,10 @@
 use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
 
 fn assert_pow2(n: u32) {
-    assert!(n >= 2 && n.is_power_of_two(), "recursive collectives need power-of-two ranks, got {n}");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "recursive collectives need power-of-two ranks, got {n}"
+    );
 }
 
 /// Recursive-doubling AllGather over `n` (power of two) ranks.
@@ -35,7 +38,8 @@ pub fn recursive_doubling_allgather(n: u32) -> AlgoSpec {
             }
         }
     }
-    b.build().expect("recursive doubling allgather is well-formed")
+    b.build()
+        .expect("recursive doubling allgather is well-formed")
 }
 
 /// Recursive halving ReduceScatter over `n` (power of two) ranks.
@@ -65,7 +69,8 @@ pub fn recursive_halving_reduce_scatter(n: u32) -> AlgoSpec {
             }
         }
     }
-    b.build().expect("recursive halving reduce-scatter is well-formed")
+    b.build()
+        .expect("recursive halving reduce-scatter is well-formed")
 }
 
 /// Recursive halving-doubling AllReduce: the halving ReduceScatter
@@ -107,8 +112,14 @@ mod tests {
 
     #[test]
     fn recursive_halving_doubling_allreduce_correct() {
-        run_and_validate(&recursive_halving_doubling_allreduce(8), &Topology::a100(1, 8));
-        run_and_validate(&recursive_halving_doubling_allreduce(16), &Topology::a100(2, 8));
+        run_and_validate(
+            &recursive_halving_doubling_allreduce(8),
+            &Topology::a100(1, 8),
+        );
+        run_and_validate(
+            &recursive_halving_doubling_allreduce(16),
+            &Topology::a100(2, 8),
+        );
     }
 
     #[test]

@@ -28,11 +28,7 @@ use rescc_lang::{AlgoBuilder, AlgoSpec, OpType};
 pub fn taccl_like_allgather(nodes: u32, g: u32) -> AlgoSpec {
     assert!(nodes >= 1 && g >= 1 && nodes * g >= 2);
     let n = nodes * g;
-    let mut b = AlgoBuilder::new(
-        format!("taccl-like-ag-{nodes}x{g}"),
-        OpType::AllGather,
-        n,
-    );
+    let mut b = AlgoBuilder::new(format!("taccl-like-ag-{nodes}x{g}"), OpType::AllGather, n);
     let relay = |node: u32| node * g; // local rank 0 relays everything
 
     // Step 0: local gather — every GPU hands its chunk to the node relay.
@@ -121,11 +117,7 @@ pub fn teccl_like_allgather(n: u32) -> AlgoSpec {
 /// own technique, since TECCL does not natively synthesize AllReduce).
 pub fn teccl_like_allreduce(n: u32) -> AlgoSpec {
     let ag = teccl_like_allgather(n);
-    compose_allreduce(
-        format!("teccl-like-ar-{n}"),
-        &reverse_allgather(&ag),
-        &ag,
-    )
+    compose_allreduce(format!("teccl-like-ar-{n}"), &reverse_allgather(&ag), &ag)
 }
 
 #[cfg(test)]
@@ -186,6 +178,9 @@ mod tests {
             .filter(|t| t.dst.0 == (t.src.0 + 1) % 16)
             .count();
         let reverse = s.transfers().len() - forward;
-        assert!(forward >= 2 * reverse, "forward {forward} reverse {reverse}");
+        assert!(
+            forward >= 2 * reverse,
+            "forward {forward} reverse {reverse}"
+        );
     }
 }

@@ -42,6 +42,11 @@ pub fn run_and_validate(spec: &AlgoSpec, topo: &Topology) -> SimReport {
     );
     let report = simulate(topo, &dag, &prog, &plan, spec.op(), &SimConfig::default())
         .unwrap_or_else(|e| panic!("{} simulation failed: {e}", spec.name()));
-    assert_eq!(report.data_valid, Some(true), "{} corrupted data", spec.name());
+    assert_eq!(
+        report.data_valid,
+        Some(true),
+        "{} corrupted data",
+        spec.name()
+    );
     report
 }

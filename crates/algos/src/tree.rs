@@ -43,7 +43,8 @@ pub fn dbtree_allreduce(n: u32) -> AlgoSpec {
             b.recv(parent, child, bcast_step, c);
         }
     }
-    b.build().expect("double binary tree allreduce is well-formed")
+    b.build()
+        .expect("double binary tree allreduce is well-formed")
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use rescc_ir::{DepDag, IrError, TaskId};
 use rescc_sched::Schedule;
 use rescc_topology::Rank;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Which side of a transfer a primitive implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -123,7 +123,11 @@ impl TbAllocation {
             for slot in rank_slots {
                 let t = dag.task(slot.task);
                 let ep = Endpoint {
-                    peer: if slot.dir == Direction::Send { t.dst } else { t.src },
+                    peer: if slot.dir == Direction::Send {
+                        t.dst
+                    } else {
+                        t.src
+                    },
                     dir_is_send: slot.dir == Direction::Send,
                 };
                 if !groups.contains_key(&ep) {
@@ -180,23 +184,28 @@ impl TbAllocation {
         // so ordering TB slots by this position keeps every TB's program
         // deadlock-free even when dependent tasks share a sub-pipeline.
         //
-        // Chained mode refines the order *globally and consistently*: a
-        // chain transit (a send with exactly one feeding delivery) is keyed
-        // immediately after its feeder, so the fusion pass finds the pair
-        // adjacent on the merged TB — and because every TB sorts by the
-        // same adjusted total order, the deadlock-freedom argument is
-        // unchanged.
+        // Chained mode keys a chain transit (a send forwarding data
+        // delivered by exactly one receive at its source rank) immediately
+        // after its feeder *on the TB the fold co-locates them on*, so the
+        // fusion pass finds the pair adjacent. The reordering is safe even
+        // when the forward has later predecessors (e.g. a write-after-write
+        // edge at its destination): a fused forward issues asynchronously —
+        // it never gates its TB's issue groups — so it cannot take part in
+        // a rendezvous cycle, and every *gating* slot still follows the
+        // schedule's dependency-compatible total order.
         let base_pos: HashMap<TaskId, usize> = schedule
             .linear_order()
             .into_iter()
             .enumerate()
             .map(|(i, t)| (t, i))
             .collect();
-        let key_of = |t: TaskId| -> (usize, u8, usize) {
-            if chain_merge {
-                let b = dag.task(t);
+        // `Some(feeder)` = chain transit; `None` = fed by several
+        // deliveries (disqualified); absent = chain head (no feeder).
+        let mut chain_feed: HashMap<TaskId, Option<TaskId>> = HashMap::new();
+        if chain_merge {
+            for b in dag.tasks() {
                 let feeders: Vec<TaskId> = dag
-                    .preds(t)
+                    .preds(b.id)
                     .iter()
                     .copied()
                     .filter(|&a| {
@@ -204,25 +213,17 @@ impl TbAllocation {
                         ta.chunk == b.chunk && ta.dst == b.src
                     })
                     .collect();
-                // The adjusted key must dominate *every* predecessor's key
-                // (a forward can also carry e.g. a write-after-write edge at
-                // its destination); only when the feeder IS the latest
-                // predecessor may the forward sit right behind it.
-                if let [a] = feeders.as_slice() {
-                    let max_pred = dag
-                        .preds(t)
-                        .iter()
-                        .map(|p| base_pos[p])
-                        .max()
-                        .unwrap_or(0);
-                    if base_pos[a] == max_pred {
-                        return (max_pred, 1, base_pos[&t]);
+                match feeders.as_slice() {
+                    [] => {}
+                    [a] => {
+                        chain_feed.insert(b.id, Some(*a));
+                    }
+                    _ => {
+                        chain_feed.insert(b.id, None);
                     }
                 }
             }
-            (base_pos[&t], 0, 0)
-        };
-        let pos = &key_of;
+        }
 
         let mut per_rank: Vec<RankTbPlan> = vec![RankTbPlan::default(); n_ranks];
         for (rank, rank_slots) in slots.into_iter().enumerate() {
@@ -231,12 +232,18 @@ impl TbAllocation {
             for slot in rank_slots {
                 let t = dag.task(slot.task);
                 let ep = Endpoint {
-                    peer: if slot.dir == Direction::Send { t.dst } else { t.src },
+                    peer: if slot.dir == Direction::Send {
+                        t.dst
+                    } else {
+                        t.src
+                    },
                     dir_is_send: slot.dir == Direction::Send,
                 };
-                let e = intervals
-                    .entry(ep)
-                    .or_insert((slot.sub_pipeline, slot.sub_pipeline, Vec::new()));
+                let e = intervals.entry(ep).or_insert((
+                    slot.sub_pipeline,
+                    slot.sub_pipeline,
+                    Vec::new(),
+                ));
                 e.0 = e.0.min(slot.sub_pipeline);
                 e.1 = e.1.max(slot.sub_pipeline);
                 e.2.push(slot);
@@ -244,7 +251,9 @@ impl TbAllocation {
 
             // Chain merging: fold a send endpoint into the receive endpoint
             // that feeds all of its tasks (same chunk, this rank in the
-            // middle of the chain).
+            // middle of the chain). Folded endpoints are remembered so the
+            // final sort can key their forwards right behind their feeders.
+            let mut folded: HashSet<Endpoint> = HashSet::new();
             if chain_merge {
                 let keys: Vec<Endpoint> = {
                     let mut k: Vec<Endpoint> = intervals.keys().copied().collect();
@@ -262,19 +271,13 @@ impl TbAllocation {
                     let mut feeder: Option<Endpoint> = None;
                     let mut ok = true;
                     for slot in &intervals[&ep].2 {
-                        let b = dag.task(slot.task);
-                        let feeders: Vec<_> = dag
-                            .preds(slot.task)
-                            .iter()
-                            .copied()
-                            .filter(|&a| {
-                                let ta = dag.task(a);
-                                ta.chunk == b.chunk && ta.dst == b.src
-                            })
-                            .collect();
-                        match feeders.as_slice() {
-                            [] => {} // chain head
-                            [a] => {
+                        match chain_feed.get(&slot.task) {
+                            None => {} // chain head
+                            Some(None) => {
+                                ok = false;
+                                break;
+                            }
+                            Some(Some(a)) => {
                                 let fa = Endpoint {
                                     peer: dag.task(*a).src,
                                     dir_is_send: false,
@@ -283,10 +286,6 @@ impl TbAllocation {
                                     ok = false;
                                     break;
                                 }
-                            }
-                            _ => {
-                                ok = false;
-                                break;
                             }
                         }
                     }
@@ -300,6 +299,7 @@ impl TbAllocation {
                             fe.0 = fe.0.min(s);
                             fe.1 = fe.1.max(e);
                             fe.2.extend(sl);
+                            folded.insert(ep);
                         }
                     }
                 }
@@ -333,7 +333,23 @@ impl TbAllocation {
                 }
             }
             for tb in &mut tb_slots {
-                tb.sort_by_key(|s| (pos(s.task), s.dir));
+                tb.sort_by_key(|s| {
+                    // A forward folded onto its feeder's TB sorts directly
+                    // behind the feeder (adjacent, for the fusion pass).
+                    // Everything else — including chain heads and every
+                    // gating slot — keeps the schedule's total order.
+                    if s.dir == Direction::Send
+                        && folded.contains(&Endpoint {
+                            peer: dag.task(s.task).dst,
+                            dir_is_send: true,
+                        })
+                    {
+                        if let Some(&Some(a)) = chain_feed.get(&s.task) {
+                            return (base_pos[&a], 1, base_pos[&s.task], s.dir);
+                        }
+                    }
+                    (base_pos[&s.task], 0, 0, s.dir)
+                });
             }
             per_rank[rank].tbs = tb_slots.into_iter().map(TbPlan::full).collect();
         }
@@ -522,7 +538,10 @@ mod tests {
         // A chain where rank endpoints are active in strictly separated
         // sub-pipelines: state-based merges them where possible.
         let mut b = AlgoBuilder::new("phased", OpType::AllGather, 4);
-        b.recv(0, 1, 0, 0).recv(1, 2, 1, 0).recv(2, 3, 2, 0).recv(3, 0, 3, 0);
+        b.recv(0, 1, 0, 0)
+            .recv(1, 2, 1, 0)
+            .recv(2, 3, 2, 0)
+            .recv(3, 0, 3, 0);
         let dag = DepDag::build(&b.build().unwrap(), &Topology::a100(1, 4)).unwrap();
         let s = hpds(&dag);
         let state = TbAllocation::state_based(&dag, &s);

@@ -12,19 +12,28 @@
 //!   intra-mesh + inter-ring) — the paper's expert choice for Clos
 //!   clusters.
 
-use crate::{Backend, RescclBackend, RunReport, DEFAULT_CHUNK_BYTES};
+use crate::{RunReport, DEFAULT_CHUNK_BYTES};
 use rescc_algos::{
     hm_allgather, hm_allreduce, hm_reduce_scatter, recursive_halving_doubling_allreduce,
 };
+use rescc_core::{CacheStats, Compiler, PlanCache};
+use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, OpType};
-use rescc_sim::SimResult;
+use rescc_sim::{SimConfig, SimResult};
 use rescc_topology::Topology;
 use std::collections::HashMap;
 
 /// A handle for issuing collectives on a fixed cluster.
+///
+/// Dispatch goes through a [`PlanCache`]: the first call of each distinct
+/// (operator, algorithm, micro-batch shape) configuration compiles, every
+/// repeat is a fingerprint lookup — none of the compile phases run again
+/// (observable via [`rescc_core::phase_counters`]). Each [`RunReport`]
+/// carries the cache counters at the time of the call.
 pub struct Communicator {
     topo: Topology,
-    backend: RescclBackend,
+    compiler: Compiler,
+    cache: PlanCache,
     chunk_bytes: u64,
     /// Cached specs per (op, small) bucket — algorithm construction is
     /// cheap but deterministic reuse keeps behaviour predictable.
@@ -36,7 +45,8 @@ impl Communicator {
     pub fn new(topo: Topology) -> Self {
         Self {
             topo,
-            backend: RescclBackend::default(),
+            compiler: Compiler::new(),
+            cache: PlanCache::new(),
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             specs: HashMap::new(),
         }
@@ -49,9 +59,21 @@ impl Communicator {
         self
     }
 
+    /// Fan compilation out over `threads` worker threads (the compiled
+    /// plans are bit-identical to serial compilation for any value).
+    pub fn with_compile_threads(mut self, threads: usize) -> Self {
+        self.compiler = self.compiler.with_threads(threads);
+        self
+    }
+
     /// The topology this communicator serves.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Plan-cache counters (hits, misses, resident entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Pick the algorithm for an operator and buffer size.
@@ -98,7 +120,24 @@ impl Communicator {
     fn run(&mut self, op: OpType, buffer_bytes: u64) -> SimResult<RunReport> {
         let spec = self.select(op, buffer_bytes);
         let chunk = self.chunk_bytes;
-        self.backend.run_unchecked(&spec, &self.topo, buffer_bytes, chunk)
+        let mb = MicroBatchPlan::plan(buffer_bytes, spec.n_chunks(), chunk);
+        let plan = self
+            .cache
+            .get_or_compile(&self.compiler, &spec, &self.topo, &mb)?;
+        let sim = plan.run_with(
+            buffer_bytes,
+            chunk,
+            &SimConfig::default().without_validation(),
+        )?;
+        Ok(RunReport {
+            backend: "resccl".to_string(),
+            algo: spec.name().to_string(),
+            buffer_bytes,
+            total_tbs: plan.alloc.total_tbs(),
+            max_rank_tbs: plan.alloc.max_rank_tbs(),
+            sim,
+            cache: Some(self.cache.stats()),
+        })
     }
 }
 

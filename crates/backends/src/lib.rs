@@ -46,6 +46,10 @@ pub struct RunReport {
     pub max_rank_tbs: usize,
     /// The underlying simulation report.
     pub sim: SimReport,
+    /// Plan-cache counters at the time of this run, when the call went
+    /// through a caching dispatcher ([`Communicator`]); `None` for direct
+    /// backend calls, which always compile.
+    pub cache: Option<rescc_core::CacheStats>,
 }
 
 impl RunReport {
@@ -111,6 +115,7 @@ fn finish(
         total_tbs: alloc.total_tbs(),
         max_rank_tbs: alloc.max_rank_tbs(),
         sim,
+        cache: None,
     }
 }
 
@@ -345,14 +350,11 @@ impl RescclBackend {
         } else {
             TbAllocation::state_based(&dag, &sched)
         };
-        // Fused kernels iterate micro-batches outer (as NCCL ring kernels
-        // do) so every TB shares one globally consistent execution order;
-        // without a barrier this pipelines just as freely.
-        let loop_order = if self.fuse_primitives {
-            LoopOrder::MicroBatchMajor
-        } else {
-            LoopOrder::SlotMajor
-        };
+        // Fused programs keep the slot-major loop: the simulator issues the
+        // fused forward asynchronously, so each recv→send pair pipelines
+        // across micro-batches exactly like its unfused counterpart while
+        // occupying half the TBs.
+        let loop_order = LoopOrder::SlotMajor;
         let mut prog = KernelProgram::generate(
             spec.name(),
             &dag,
@@ -514,10 +516,10 @@ mod tests {
     #[test]
     fn fusion_trades_tbs_for_bounded_slack() {
         // Chain-merged fused kernels halve the TB budget of ring transits.
-        // At this simulator's chunk granularity, the per-micro-batch group
-        // lockstep costs pipelining slack (real kernels hide it with
-        // sub-chunk FIFO slices), so fusion is off by default; the cost
-        // must nevertheless stay bounded and correctness is untouched.
+        // Fused forwards issue asynchronously (they never gate their TB's
+        // issue groups), so the recv→send pair pipelines across
+        // micro-batches like its unfused counterpart; the residual slack
+        // from sharing one TB must stay within 20% of the plain run.
         let topo = Topology::a100(2, 8);
         let spec = rescc_algos::nccl_rings_allgather(2, 8, 4);
         let plain = RescclBackend::default()
@@ -533,8 +535,8 @@ mod tests {
             plain.total_tbs
         );
         assert!(
-            fused.sim.completion_ns <= plain.sim.completion_ns * 3.0,
-            "fused {} unboundedly beyond plain {}",
+            fused.sim.completion_ns <= plain.sim.completion_ns * 1.2,
+            "fused {} more than 20% beyond plain {}",
             fused.sim.completion_ns,
             plain.sim.completion_ns
         );

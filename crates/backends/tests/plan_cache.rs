@@ -1,0 +1,62 @@
+//! Plan-cache behaviour of the [`Communicator`] dispatcher: warm calls
+//! must not run any compile phase, and must return the same simulation
+//! result the cold call produced.
+//!
+//! The phase counters are process-wide, so every test in this binary that
+//! compiles anything serializes on one lock — otherwise a concurrent
+//! test's compile would land between two snapshots.
+
+use rescc_backends::Communicator;
+use rescc_core::phase_counters;
+use rescc_topology::Topology;
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn warm_dispatch_skips_all_compile_phases() {
+    let _guard = COUNTERS.lock().unwrap();
+    let mut comm = Communicator::new(Topology::a100(2, 4));
+
+    let cold = comm.all_reduce(64 * MB).unwrap();
+    let cold_stats = cold.cache.expect("communicator reports cache stats");
+    assert_eq!((cold_stats.hits, cold_stats.misses), (0, 1));
+
+    let before = phase_counters::snapshot();
+    let warm = comm.all_reduce(64 * MB).unwrap();
+    let after = phase_counters::snapshot();
+    assert_eq!(
+        after.since(&before),
+        phase_counters::PhaseCounts::default(),
+        "a warm dispatch must not run any compile phase"
+    );
+
+    let warm_stats = warm.cache.unwrap();
+    assert_eq!((warm_stats.hits, warm_stats.misses), (1, 1));
+    assert_eq!(cold.sim, warm.sim, "cached run must match the cold run");
+}
+
+#[test]
+fn distinct_configurations_miss_repeats_hit() {
+    let _guard = COUNTERS.lock().unwrap();
+    let mut comm = Communicator::new(Topology::a100(2, 4));
+    comm.all_reduce(256 * MB).unwrap();
+    comm.all_gather(256 * MB).unwrap();
+    let rep = comm.all_reduce(256 * MB).unwrap();
+    let stats = rep.cache.unwrap();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    assert_eq!(comm.cache_stats(), stats);
+}
+
+#[test]
+fn parallel_compilation_serves_identical_plans() {
+    let _guard = COUNTERS.lock().unwrap();
+    let mut serial = Communicator::new(Topology::a100(2, 4));
+    let mut parallel = Communicator::new(Topology::a100(2, 4)).with_compile_threads(4);
+    let a = serial.reduce_scatter(128 * MB).unwrap();
+    let b = parallel.reduce_scatter(128 * MB).unwrap();
+    assert_eq!(a.sim, b.sim);
+    assert_eq!(a.total_tbs, b.total_tbs);
+}

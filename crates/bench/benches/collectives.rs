@@ -22,9 +22,7 @@ fn bench_backends(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hm-ar-2x8-128MB", name),
             backend,
-            |b, backend| {
-                b.iter(|| backend.run_unchecked(&spec, &topo, buffer, chunk).unwrap())
-            },
+            |b, backend| b.iter(|| backend.run_unchecked(&spec, &topo, buffer, chunk).unwrap()),
         );
     }
     group.finish();

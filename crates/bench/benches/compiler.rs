@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rescc_algos::{hm_allreduce, hm_allreduce_source};
-use rescc_core::Compiler;
+use rescc_core::{Compiler, PlanCache};
+use rescc_ir::MicroBatchPlan;
 use rescc_lang::{eval_source, parse};
 use rescc_topology::Topology;
 
@@ -30,8 +31,42 @@ fn bench_compile(c: &mut Criterion) {
             },
         );
     }
+    // The same pipeline with the chunked phases fanned out over worker
+    // threads — on a single hardware thread this matches the serial row.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for t in [2usize, 4, threads] {
+        let topo = Topology::a100(8, 8);
+        let spec = hm_allreduce(8, 8);
+        group.bench_with_input(
+            BenchmarkId::new("full-pipeline-parallel/hm-ar-8x8", format!("{t}t")),
+            &(&spec, &topo),
+            |b, (spec, topo)| {
+                let compiler = Compiler::new().with_threads(t);
+                b.iter(|| compiler.compile_spec(spec, topo).unwrap())
+            },
+        );
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_dsl, bench_compile);
+fn bench_warm_cache(c: &mut Criterion) {
+    // Warm-cache dispatch: fingerprint + hash lookup, no compile phases.
+    let mut group = c.benchmark_group("warm-cache");
+    let topo = Topology::a100(8, 8);
+    let spec = hm_allreduce(8, 8);
+    let compiler = Compiler::new();
+    let cache = PlanCache::new();
+    let mb = MicroBatchPlan::plan(256 << 20, spec.n_chunks(), 1 << 20);
+    cache
+        .get_or_compile(&compiler, &spec, &topo, &mb)
+        .expect("prime");
+    group.bench_function("hit/hm-ar-8x8", |b| {
+        b.iter(|| cache.get_or_compile(&compiler, &spec, &topo, &mb).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsl, bench_compile, bench_warm_cache);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! second across micro-batch counts and cluster shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rescc_alloc::TbAllocation;
 use rescc_algos::hm_allreduce;
+use rescc_alloc::TbAllocation;
 use rescc_ir::{DepDag, MicroBatchPlan};
 use rescc_kernel::{ExecMode, KernelProgram, LoopOrder};
 use rescc_sched::hpds;
@@ -34,9 +34,7 @@ fn bench_simulator(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hm-ar-2x8", format!("{}mb", plan.n_micro_batches)),
             &plan,
-            |b, plan| {
-                b.iter(|| simulate(&topo, &dag, &prog, plan, spec.op(), &cfg).unwrap())
-            },
+            |b, plan| b.iter(|| simulate(&topo, &dag, &prog, plan, spec.op(), &cfg).unwrap()),
         );
     }
     group.finish();

@@ -20,5 +20,8 @@ fn main() {
     ex::figure13::run();
     ex::ablation::run();
     ex::analytic::run();
-    println!("\nreproduce-all finished in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nreproduce-all finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

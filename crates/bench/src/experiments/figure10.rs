@@ -10,10 +10,15 @@
 use crate::{print_table, MB};
 use rescc_algos::{hm_allreduce, hm_allreduce_source, taccl_like_allgather, taccl_like_allreduce};
 use rescc_backends::{Backend, RescclBackend};
-use rescc_core::Compiler;
+use rescc_core::{Compiler, PlanCache};
+use rescc_ir::MicroBatchPlan;
 use rescc_topology::Topology;
+use std::time::Instant;
 
-/// Regenerate Figure 10(a): compile-phase breakdown vs scale.
+/// Regenerate Figure 10(a): compile-phase breakdown vs scale, plus the
+/// cold-compile / parallel-compile / warm-cache comparison at the largest
+/// emulated scale (1,024 GPUs). Writes machine-readable results to
+/// `BENCH_compile.json`.
 pub fn run_a() {
     let mut rows = Vec::new();
     for nodes in [1u32, 2, 4, 8, 16, 32, 64, 128] {
@@ -37,10 +42,102 @@ pub fn run_a() {
     }
     print_table(
         "Figure 10(a): offline compile phase breakdown vs emulated cluster scale (HM-AllReduce)",
-        &["GPUs", "tasks", "parsing", "analysis", "scheduling", "lowering", "total"],
+        &[
+            "GPUs",
+            "tasks",
+            "parsing",
+            "analysis",
+            "scheduling",
+            "lowering",
+            "total",
+        ],
         &rows,
     );
     println!("paper: the full DSL pipeline finishes in ~11 min even at 1,024 GPUs (offline).");
+
+    // Cold / parallel / warm comparison at the largest scale.
+    let (nodes, g) = (128u32, 8u32);
+    let ranks = nodes * g;
+    let topo = Topology::a100(nodes, g);
+    let spec = hm_allreduce(nodes, g);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let t0 = Instant::now();
+    let serial_plan = Compiler::new()
+        .compile_spec(&spec, &topo)
+        .expect("figure10a serial compile");
+    let cold_serial = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel_plan = Compiler::new()
+        .with_threads(threads)
+        .compile_spec(&spec, &topo)
+        .expect("figure10a parallel compile");
+    let cold_parallel = t0.elapsed().as_secs_f64();
+    let identical = serial_plan.semantic_eq(&parallel_plan);
+
+    let cache = PlanCache::new();
+    let mb = MicroBatchPlan::plan(256 * MB, spec.n_chunks(), MB);
+    let compiler = Compiler::new().with_threads(threads);
+    cache
+        .get_or_compile(&compiler, &spec, &topo, &mb)
+        .expect("figure10a cache prime");
+    let t0 = Instant::now();
+    cache
+        .get_or_compile(&compiler, &spec, &topo, &mb)
+        .expect("figure10a cache hit");
+    let warm = t0.elapsed().as_secs_f64();
+
+    print_table(
+        &format!("Compile modes at {ranks} GPUs (HM-AllReduce)"),
+        &["mode", "wall time", "speedup vs cold"],
+        &[
+            vec![
+                "cold, serial".into(),
+                format!("{cold_serial:.3}s"),
+                "1.0x".into(),
+            ],
+            vec![
+                format!("cold, {threads} threads"),
+                format!("{cold_parallel:.3}s"),
+                format!("{:.2}x", cold_serial / cold_parallel),
+            ],
+            vec![
+                "warm cache".into(),
+                format!("{:.2}ms", warm * 1e3),
+                format!("{:.0}x", cold_serial / warm),
+            ],
+        ],
+    );
+    println!(
+        "parallel output byte-identical to serial: {identical}; \
+         warm dispatch skips all four compile phases via the plan cache."
+    );
+
+    let t = serial_plan.timings;
+    let json = format!(
+        "{{\n  \"workload\": \"hm_allreduce\",\n  \"ranks\": {ranks},\n  \
+         \"tasks\": {tasks},\n  \"threads\": {threads},\n  \
+         \"cold_serial_s\": {cold_serial:.6},\n  \
+         \"cold_parallel_s\": {cold_parallel:.6},\n  \
+         \"parallel_speedup\": {speedup:.3},\n  \
+         \"parallel_byte_identical\": {identical},\n  \
+         \"warm_cache_s\": {warm:.9},\n  \
+         \"phases_serial_ms\": {{\"parsing\": {p:.3}, \"analysis\": {a:.3}, \
+         \"scheduling\": {s:.3}, \"lowering\": {l:.3}}}\n}}\n",
+        tasks = serial_plan.dag.len(),
+        speedup = cold_serial / cold_parallel,
+        p = t.parsing.as_secs_f64() * 1e3,
+        a = t.analysis.as_secs_f64() * 1e3,
+        s = t.scheduling.as_secs_f64() * 1e3,
+        l = t.lowering.as_secs_f64() * 1e3,
+    );
+    match std::fs::write("BENCH_compile.json", &json) {
+        Ok(()) => println!("wrote BENCH_compile.json"),
+        Err(e) => eprintln!("could not write BENCH_compile.json: {e}"),
+    }
 }
 
 /// Regenerate Figure 10(b): HPDS vs round-robin.

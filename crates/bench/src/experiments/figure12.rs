@@ -38,16 +38,16 @@ fn panel(label: &str, spec: &AlgoSpec, topo: &Topology) {
                 ),
                 None => "-".to_string(),
             };
-            vec![
-                format!("TB{i}"),
-                fmt(m_tbs.get(i)),
-                fmt(r_tbs.get(i)),
-            ]
+            vec![format!("TB{i}"), fmt(m_tbs.get(i)), fmt(r_tbs.get(i))]
         })
         .collect();
     print_table(
         &format!("Figure 12 {label}: rank-0 per-TB time breakdown"),
-        &["Worker", "MSCCL (sync/exec, release)", "ResCCL (sync/exec, release)"],
+        &[
+            "Worker",
+            "MSCCL (sync/exec, release)",
+            "ResCCL (sync/exec, release)",
+        ],
         &rows,
     );
     let m_occ: f64 = m.sim.tb_stats.iter().map(|t| t.occupancy_ns).sum();

@@ -16,7 +16,7 @@ pub fn run() {
     // 4 servers (batch 32) — the §5.5 deployment rule.
     let mut rows = Vec::new();
     for size in ["6.7B", "13B", "22B", "45B"] {
-        let model = ModelConfig::gpt3(size);
+        let model = ModelConfig::gpt3(size).expect("figure13 preset");
         let par = if model.params < 13_000_000_000 {
             ParallelConfig::gpt3(2, 16)
         } else {
@@ -37,14 +37,16 @@ pub fn run() {
     }
     print_table(
         "Figure 13(a): GPT-3 training throughput (samples/s), TP=8",
-        &["model", "DPxTP", "NCCL", "MSCCL", "ResCCL", "vs NCCL", "vs MSCCL"],
+        &[
+            "model", "DPxTP", "NCCL", "MSCCL", "ResCCL", "vs NCCL", "vs MSCCL",
+        ],
         &rows,
     );
 
     // (b) T5, data parallel over 16 GPUs, batch 16.
     let mut rows = Vec::new();
     for size in ["220M", "770M", "3B"] {
-        let model = ModelConfig::t5(size);
+        let model = ModelConfig::t5(size).expect("figure13 preset");
         let par = ParallelConfig::t5(16, 16);
         let n = train_throughput(&model, &par, CclChoice::Nccl, &cfg).expect("figure13 nccl");
         let m = train_throughput(&model, &par, CclChoice::Msccl, &cfg).expect("figure13 msccl");
@@ -61,7 +63,9 @@ pub fn run() {
     }
     print_table(
         "Figure 13(b): T5 training throughput (samples/s), DP=16",
-        &["model", "GPUs", "NCCL", "MSCCL", "ResCCL", "vs NCCL", "vs MSCCL"],
+        &[
+            "model", "GPUs", "NCCL", "MSCCL", "ResCCL", "vs NCCL", "vs MSCCL",
+        ],
         &rows,
     );
     println!(

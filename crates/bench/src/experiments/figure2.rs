@@ -17,7 +17,10 @@ pub fn run() {
     let backend = MscclBackend::default();
     for (label, spec) in [
         ("(a) custom (HM) AllReduce", hm_allreduce(1, 8)),
-        ("(b) synthesized (TACCL-like) AllReduce", taccl_like_allreduce(1, 8)),
+        (
+            "(b) synthesized (TACCL-like) AllReduce",
+            taccl_like_allreduce(1, 8),
+        ),
     ] {
         // A typical synchronization size: 16 MB yields two micro-batches,
         // so half of the four channel TBs opened per connection get no
@@ -42,7 +45,13 @@ pub fn run() {
             .collect();
         print_table(
             &format!("Figure 2 {label}: rank-0 TB time breakdown (MSCCL-model)"),
-            &["TB", "execution", "sync-blocked", "idle ratio", "invocations"],
+            &[
+                "TB",
+                "execution",
+                "sync-blocked",
+                "idle ratio",
+                "invocations",
+            ],
             &rows,
         );
         let max_idle = rep.sim.max_idle_ratio();
@@ -60,7 +69,5 @@ pub fn run() {
             pct(rep.sim.avg_idle_ratio()),
         );
     }
-    println!(
-        "paper: extra-channel TBs idle up to 98.2% (a); sync blocking reaches 67.1% (b)."
-    );
+    println!("paper: extra-channel TBs idle up to 98.2% (a); sync blocking reaches 67.1% (b).");
 }

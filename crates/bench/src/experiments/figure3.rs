@@ -55,7 +55,13 @@ pub fn run() {
     }
     print_table(
         "Figure 3: runtime interpreter vs direct kernel execution (MSCCL-model, 2x8)",
-        &["algorithm", "buffer", "interpreter", "direct kernel", "interp. loss"],
+        &[
+            "algorithm",
+            "buffer",
+            "interpreter",
+            "direct kernel",
+            "interp. loss",
+        ],
         &rows,
     );
     let avg = losses.iter().sum::<f64>() / losses.len() as f64;

@@ -32,9 +32,12 @@ fn cells(rep: &RunReport) -> [String; 4] {
     ]
 }
 
+/// An algorithm constructor, parameterized by (nodes, gpus-per-node).
+type AlgoCtor = fn(u32, u32) -> AlgoSpec;
+
 /// Regenerate Table 3.
 pub fn run() {
-    let algos: [(&str, fn(u32, u32) -> AlgoSpec); 4] = [
+    let algos: [(&str, AlgoCtor); 4] = [
         ("Expert AllReduce", hm_allreduce),
         ("Expert AllGather", hm_allgather),
         ("Synth AllReduce", taccl_like_allreduce),
@@ -45,9 +48,7 @@ pub fn run() {
 
     for (algo_name, make) in algos {
         let mut rows = Vec::new();
-        for (backend_name, backend) in
-            [("MSCCL", &msccl as &dyn Backend), ("ResCCL", &resccl)]
-        {
+        for (backend_name, backend) in [("MSCCL", &msccl as &dyn Backend), ("ResCCL", &resccl)] {
             for metric in 0..4usize {
                 let metric_name = ["# TB", "Comm Time", "Avg Idle", "Max Idle"][metric];
                 let mut row = vec![backend_name.to_string(), metric_name.to_string()];
@@ -64,7 +65,14 @@ pub fn run() {
         }
         print_table(
             &format!("Table 3 — {algo_name}: TB resource utilization"),
-            &["Backend", "Metric", "Topo1 (2x4)", "Topo2 (2x8)", "Topo3 (4x4)", "Topo4 (4x8)"],
+            &[
+                "Backend",
+                "Metric",
+                "Topo1 (2x4)",
+                "Topo2 (2x8)",
+                "Topo3 (4x4)",
+                "Topo4 (4x8)",
+            ],
             &rows,
         );
     }

@@ -7,7 +7,7 @@
 //! Criterion micro-benchmarks of the compiler and simulator themselves.
 //!
 //! Shared here: the buffer-size grids, table formatting, and the sweep
-//! drivers (parallelized across topologies with crossbeam scoped threads).
+//! drivers (parallelized across topologies with scoped threads).
 
 #![warn(missing_docs)]
 
@@ -71,7 +71,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -104,12 +107,7 @@ pub fn run_all(
 /// (`nccl_spec` — real NCCL cannot execute custom algorithms), while MSCCL
 /// and ResCCL execute the custom `custom_spec`, swept over the paper's
 /// buffer grid.
-pub fn backend_panel(
-    title: &str,
-    nccl_spec: &AlgoSpec,
-    custom_spec: &AlgoSpec,
-    topo: &Topology,
-) {
+pub fn backend_panel(title: &str, nccl_spec: &AlgoSpec, custom_spec: &AlgoSpec, topo: &Topology) {
     backend_panel_with(title, nccl_spec, custom_spec, topo, &buffer_sweep());
 }
 
@@ -126,11 +124,11 @@ pub fn backend_panel_with(
     let msccl = MscclBackend::default();
     let resccl = RescclBackend::default();
     let mut rows: Vec<Option<Vec<String>>> = vec![None; buffers.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, slot) in rows.iter_mut().enumerate() {
             let buffer = buffers[i];
             let (nccl, msccl, resccl) = (&nccl, &msccl, &resccl);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let n = nccl
                     .run_unchecked(nccl_spec, topo, buffer, MB)
                     .unwrap_or_else(|e| panic!("nccl {}: {e}", fmt_bytes(buffer)));
@@ -150,8 +148,7 @@ pub fn backend_panel_with(
                 ]);
             });
         }
-    })
-    .expect("panel threads only fail if a run fails");
+    });
     let rows: Vec<Vec<String>> = rows.into_iter().map(|r| r.expect("filled")).collect();
     print_table(
         &format!("{title}: algorithm bandwidth (GB/s)"),
@@ -162,26 +159,22 @@ pub fn backend_panel_with(
 
 /// Sweep one (spec, topo) pair over buffer sizes on all backends, in
 /// parallel over buffer sizes. Returns `results[size_idx][backend_idx]`.
-pub fn sweep(
-    spec: &AlgoSpec,
-    topo: &Topology,
-    buffers: &[u64],
-    chunk: u64,
-) -> Vec<Vec<RunReport>> {
+pub fn sweep(spec: &AlgoSpec, topo: &Topology, buffers: &[u64], chunk: u64) -> Vec<Vec<RunReport>> {
     let mut out: Vec<Option<Vec<RunReport>>> = vec![None; buffers.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, slot) in out.iter_mut().enumerate() {
             let buffer = buffers[i];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(
                     run_all(spec, topo, buffer, chunk)
                         .unwrap_or_else(|e| panic!("sweep {} failed: {e}", fmt_bytes(buffer))),
                 );
             });
         }
-    })
-    .expect("sweep threads never panic unless a run fails");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -55,8 +55,16 @@ fn parse_args() -> Result<Args, String> {
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--nodes" => args.nodes = next_val(&mut it, "--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
-            "--gpus" => args.gpus = next_val(&mut it, "--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--nodes" => {
+                args.nodes = next_val(&mut it, "--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--gpus" => {
+                args.gpus = next_val(&mut it, "--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
             "--fabric" => args.fabric = next_val(&mut it, "--fabric")?,
             "--scheduler" => {
                 args.scheduler = match next_val(&mut it, "--scheduler")?.as_str() {
@@ -67,19 +75,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--emit-kernels" => args.emit_kernels = true,
             "--run" => {
-                args.run_bytes =
-                    Some(next_val(&mut it, "--run")?.parse().map_err(|e| format!("--run: {e}"))?)
+                args.run_bytes = Some(
+                    next_val(&mut it, "--run")?
+                        .parse()
+                        .map_err(|e| format!("--run: {e}"))?,
+                )
             }
             "--chunk" => {
-                args.chunk_bytes =
-                    next_val(&mut it, "--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?
+                args.chunk_bytes = next_val(&mut it, "--chunk")?
+                    .parse()
+                    .map_err(|e| format!("--chunk: {e}"))?
             }
             "--gantt" => args.gantt = true,
             "--help" | "-h" => {
-                return Err("usage: resccl-compile <algorithm.rcl> [--nodes N] [--gpus G] \
+                return Err(
+                    "usage: resccl-compile <algorithm.rcl> [--nodes N] [--gpus G] \
                             [--fabric a100|v100] [--scheduler hpds|rr] [--emit-kernels] \
                             [--run BYTES] [--chunk BYTES] [--gantt]"
-                    .into())
+                        .into(),
+                )
             }
             path if !path.starts_with('-') && args.source_path.is_empty() => {
                 args.source_path = path.to_string();

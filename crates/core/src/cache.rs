@@ -1,0 +1,334 @@
+//! Content-addressed cache of compiled plans.
+//!
+//! Compiling an algorithm is orders of magnitude slower than dispatching
+//! it, and training loops issue the *same* collective (same algorithm,
+//! same topology, same micro-batch shape) thousands of times. [`PlanCache`]
+//! memoizes [`CompiledPlan`]s behind a content fingerprint so only the
+//! first call of each distinct configuration pays for Analysis, Scheduling
+//! and Lowering; subsequent calls are a hash lookup plus an `Arc` clone.
+//!
+//! The fingerprint covers everything the compiled artifact depends on:
+//!
+//! * the full algorithm spec (name, operator, ranks, chunks, and every
+//!   transfer tuple),
+//! * the topology (name, cluster shape, and all fabric cost parameters),
+//! * the micro-batch plan *shape* (logical chunks, per-invocation chunk
+//!   bytes, invocation count) — buffer sizes that produce the same shape
+//!   share an entry,
+//! * the compiler options that change output (scheduler choice and the
+//!   verify flag). The thread count is deliberately excluded: parallel
+//!   compilation is bit-identical to serial, so it must not split entries.
+//!
+//! Anything that changes one of these — a different chunking, another
+//! topology, a tweaked fabric parameter — changes the key and misses.
+
+use crate::{CompiledPlan, Compiler, SchedulerChoice};
+use rescc_ir::MicroBatchPlan;
+use rescc_lang::{AlgoSpec, CommType, OpType};
+use rescc_sim::SimResult;
+use rescc_topology::{LinkParams, Topology};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of a cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Dispatches served from the cache.
+    pub hits: u64,
+    /// Dispatches that had to compile.
+    pub misses: u64,
+    /// Distinct plans currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of dispatches served from the cache (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table from plan fingerprints to compiled plans.
+///
+/// ```
+/// use rescc_core::{Compiler, PlanCache};
+/// use rescc_ir::MicroBatchPlan;
+/// use rescc_topology::Topology;
+/// use rescc_algos::hm_allreduce;
+///
+/// let cache = PlanCache::new();
+/// let compiler = Compiler::new();
+/// let topo = Topology::a100(2, 4);
+/// let spec = hm_allreduce(2, 4);
+/// let mb = MicroBatchPlan::plan(64 << 20, spec.n_chunks(), 1 << 20);
+/// let first = cache.get_or_compile(&compiler, &spec, &topo, &mb).unwrap();
+/// let second = cache.get_or_compile(&compiler, &spec, &topo, &mb).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the cached plan for this configuration, compiling (and
+    /// caching) it on first sight.
+    ///
+    /// Compilation runs outside the map lock, so a cold-cache thundering
+    /// herd compiles concurrently rather than serializing; the results are
+    /// identical, and the last insert wins.
+    pub fn get_or_compile(
+        &self,
+        compiler: &Compiler,
+        spec: &AlgoSpec,
+        topo: &Topology,
+        mb: &MicroBatchPlan,
+    ) -> SimResult<Arc<CompiledPlan>> {
+        let key = plan_fingerprint(compiler, spec, topo, mb);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let compiled = Arc::new(compiler.compile_spec(spec, topo)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Dispatches served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Dispatches that compiled so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.map.lock().unwrap().len(),
+        }
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+/// The content fingerprint keying [`PlanCache`] entries (FNV-1a, 64-bit).
+pub fn plan_fingerprint(
+    compiler: &Compiler,
+    spec: &AlgoSpec,
+    topo: &Topology,
+    mb: &MicroBatchPlan,
+) -> u64 {
+    let mut h = Fnv::new();
+
+    // Compiler options that change the artifact.
+    h.u32(match compiler.scheduler {
+        SchedulerChoice::Hpds => 0,
+        SchedulerChoice::RoundRobin => 1,
+    });
+    h.u32(compiler.verify as u32);
+
+    // Algorithm spec.
+    h.str(spec.name());
+    h.u32(match spec.op() {
+        OpType::AllGather => 0,
+        OpType::AllReduce => 1,
+        OpType::ReduceScatter => 2,
+    });
+    h.u32(spec.n_ranks());
+    h.u32(spec.n_chunks());
+    h.u64(spec.transfers().len() as u64);
+    for t in spec.transfers() {
+        h.u32(t.src.0);
+        h.u32(t.dst.0);
+        h.u32(t.step.0);
+        h.u32(t.chunk.0);
+        h.u32(match t.comm {
+            CommType::Recv => 0,
+            CommType::Rrc => 1,
+        });
+    }
+
+    // Topology: shape and every fabric cost parameter.
+    h.str(topo.name());
+    let s = topo.spec();
+    h.u32(s.n_nodes);
+    h.u32(s.gpus_per_node);
+    h.u32(s.nics_per_node);
+    let f = topo.fabric();
+    for link in [&f.intra, &f.port, &f.inter] {
+        h.link(link);
+    }
+    h.f64(f.cross_rack_extra_ns);
+    h.u32(f.servers_per_rack);
+
+    // Micro-batch plan shape (not the raw buffer size: two buffers with
+    // the same chunking and invocation count share a plan).
+    h.u32(mb.n_chunks);
+    h.u64(mb.chunk_bytes);
+    h.u32(mb.n_micro_batches);
+
+    h.finish()
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn link(&mut self, l: &LinkParams) {
+        self.f64(l.alpha_ns);
+        self.f64(l.beta_ns_per_byte);
+        self.f64(l.gamma_ns);
+        self.f64(l.tb_bw_bytes_per_ns);
+        self.u32(l.saturation_tbs);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_algos::{hm_allgather, hm_allreduce};
+
+    fn mb(buffer: u64, chunks: u32) -> MicroBatchPlan {
+        MicroBatchPlan::plan(buffer, chunks, 1 << 20)
+    }
+
+    #[test]
+    fn identical_configuration_hits() {
+        let cache = PlanCache::new();
+        let compiler = Compiler::new();
+        let topo = Topology::a100(2, 4);
+        let spec = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, spec.n_chunks());
+        let a = cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        let b = cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn changed_chunking_misses() {
+        let cache = PlanCache::new();
+        let compiler = Compiler::new();
+        let topo = Topology::a100(2, 4);
+        let spec = hm_allreduce(2, 4);
+        let coarse = MicroBatchPlan::plan(64 << 20, spec.n_chunks(), 1 << 20);
+        let fine = MicroBatchPlan::plan(64 << 20, spec.n_chunks(), 512 << 10);
+        cache
+            .get_or_compile(&compiler, &spec, &topo, &coarse)
+            .unwrap();
+        cache
+            .get_or_compile(&compiler, &spec, &topo, &fine)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn changed_topology_or_algorithm_misses() {
+        let cache = PlanCache::new();
+        let compiler = Compiler::new();
+        let ar = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, ar.n_chunks());
+        cache
+            .get_or_compile(&compiler, &ar, &Topology::a100(2, 4), &plan)
+            .unwrap();
+        // Same shape, different fabric.
+        cache
+            .get_or_compile(&compiler, &ar, &Topology::v100(2, 4), &plan)
+            .unwrap();
+        // Same topology, different algorithm.
+        let ag = hm_allgather(2, 4);
+        let plan_ag = mb(64 << 20, ag.n_chunks());
+        cache
+            .get_or_compile(&compiler, &ag, &Topology::a100(2, 4), &plan_ag)
+            .unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 3,
+                entries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_thread_count() {
+        let topo = Topology::a100(2, 4);
+        let spec = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, spec.n_chunks());
+        let serial = Compiler::new();
+        let parallel = Compiler::new().with_threads(8);
+        assert_eq!(
+            plan_fingerprint(&serial, &spec, &topo, &plan),
+            plan_fingerprint(&parallel, &spec, &topo, &plan)
+        );
+    }
+}

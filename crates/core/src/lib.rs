@@ -28,14 +28,78 @@
 
 #![warn(missing_docs)]
 
+mod cache;
+
+pub use cache::{plan_fingerprint, CacheStats, PlanCache};
+
 use rescc_alloc::TbAllocation;
 use rescc_ir::{DepDag, MicroBatchPlan};
 use rescc_kernel::{emit_all, ExecMode, KernelProgram, LoopOrder};
-use rescc_lang::{eval, parse, verify_collective, AlgoSpec, OpType};
+use rescc_lang::{eval, parse, verify_collective_with_threads, AlgoSpec, OpType};
 use rescc_sched::{hpds, round_robin, Schedule};
 use rescc_sim::{simulate, SimConfig, SimError, SimReport, SimResult};
 use rescc_topology::Topology;
 use std::time::{Duration, Instant};
+
+/// Process-wide counters of compile-phase executions.
+///
+/// Every [`Compiler`] increments these as it runs its phases; they exist so
+/// callers (and tests) can prove a cached dispatch skipped compilation
+/// entirely rather than merely being fast. Counters only ever increase;
+/// compare [`snapshot`](phase_counters::snapshot)s taken around the section
+/// under scrutiny.
+pub mod phase_counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static PARSING: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static ANALYSIS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static SCHEDULING: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static LOWERING: AtomicU64 = AtomicU64::new(0);
+
+    /// How many times each compile phase has run in this process.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct PhaseCounts {
+        /// Parsing-phase executions (DSL text compiles only).
+        pub parsing: u64,
+        /// Analysis-phase executions (verify + DAG construction).
+        pub analysis: u64,
+        /// Scheduling-phase executions.
+        pub scheduling: u64,
+        /// Lowering-phase executions.
+        pub lowering: u64,
+    }
+
+    impl PhaseCounts {
+        /// Sum over all phases.
+        pub fn total(&self) -> u64 {
+            self.parsing + self.analysis + self.scheduling + self.lowering
+        }
+
+        /// Per-phase difference against an earlier snapshot.
+        pub fn since(&self, earlier: &PhaseCounts) -> PhaseCounts {
+            PhaseCounts {
+                parsing: self.parsing - earlier.parsing,
+                analysis: self.analysis - earlier.analysis,
+                scheduling: self.scheduling - earlier.scheduling,
+                lowering: self.lowering - earlier.lowering,
+            }
+        }
+    }
+
+    /// Read the current counters.
+    pub fn snapshot() -> PhaseCounts {
+        PhaseCounts {
+            parsing: PARSING.load(Ordering::Relaxed),
+            analysis: ANALYSIS.load(Ordering::Relaxed),
+            scheduling: SCHEDULING.load(Ordering::Relaxed),
+            lowering: LOWERING.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Scheduler selection for the compiler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -77,6 +141,11 @@ pub struct Compiler {
     /// above 256 ranks, where the symbolic state (O(ranks³)) would dominate
     /// compile memory — the simulator's runtime check still covers those.
     pub verify: bool,
+    /// Worker threads for the embarrassingly-parallel phases: per-chunk
+    /// static verification, per-chunk dependency analysis, and per-rank
+    /// kernel lowering. The output is bit-identical for any value; 1
+    /// (the default) compiles fully serially.
+    pub threads: usize,
 }
 
 impl Default for Compiler {
@@ -84,6 +153,7 @@ impl Default for Compiler {
         Self {
             scheduler: SchedulerChoice::default(),
             verify: true,
+            threads: 1,
         }
     }
 }
@@ -100,11 +170,19 @@ impl Compiler {
         self
     }
 
+    /// Fan the parallel compile phases out over `threads` worker threads
+    /// (0 is treated as 1). Output is identical for any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Compile ResCCLang source text for `topo`.
     pub fn compile_source(&self, source: &str, topo: &Topology) -> SimResult<CompiledPlan> {
         let t0 = Instant::now();
         let program = parse(source).map_err(|e| SimError::new(e.to_string()))?;
         let spec = eval(&program).map_err(|e| SimError::new(e.to_string()))?;
+        phase_counters::bump(&phase_counters::PARSING);
         let parsing = t0.elapsed();
         let mut plan = self.compile_spec(&spec, topo)?;
         plan.timings.parsing = parsing;
@@ -115,11 +193,16 @@ impl Compiler {
     pub fn compile_spec(&self, spec: &AlgoSpec, topo: &Topology) -> SimResult<CompiledPlan> {
         let mut timings = PhaseTimings::default();
 
+        let threads = self.threads.max(1);
+
         let t0 = Instant::now();
         if self.verify && spec.n_ranks() <= 256 {
-            verify_collective(spec).map_err(|e| SimError::new(e.to_string()))?;
+            verify_collective_with_threads(spec, threads)
+                .map_err(|e| SimError::new(e.to_string()))?;
         }
-        let dag = DepDag::build(spec, topo).map_err(|e| SimError::new(e.to_string()))?;
+        let dag = DepDag::build_with_threads(spec, topo, threads)
+            .map_err(|e| SimError::new(e.to_string()))?;
+        phase_counters::bump(&phase_counters::ANALYSIS);
         timings.analysis = t0.elapsed();
 
         let t0 = Instant::now();
@@ -130,6 +213,7 @@ impl Compiler {
         schedule
             .validate(&dag)
             .map_err(|e| SimError::new(format!("scheduler bug: {e}")))?;
+        phase_counters::bump(&phase_counters::SCHEDULING);
         timings.scheduling = t0.elapsed();
 
         let t0 = Instant::now();
@@ -137,16 +221,18 @@ impl Compiler {
         alloc
             .validate(&dag, &schedule)
             .map_err(|e| SimError::new(format!("allocation bug: {e}")))?;
-        let program = KernelProgram::generate(
+        let program = KernelProgram::generate_with_threads(
             spec.name(),
             &dag,
             &alloc,
             LoopOrder::SlotMajor,
             ExecMode::DirectKernel,
+            threads,
         );
         program
             .validate(&dag)
             .map_err(|e| SimError::new(format!("lowering bug: {e}")))?;
+        phase_counters::bump(&phase_counters::LOWERING);
         timings.lowering = t0.elapsed();
 
         Ok(CompiledPlan {
@@ -209,6 +295,22 @@ impl CompiledPlan {
     /// Total TBs the plan launches.
     pub fn total_tbs(&self) -> usize {
         self.alloc.total_tbs()
+    }
+
+    /// Whether two plans are the same compiled artifact: identical DAG,
+    /// schedule, TB allocation and kernel program for the same operator,
+    /// chunking, and topology shape. Phase timings are deliberately
+    /// ignored — they are measurement metadata, not part of the artifact.
+    /// Used to assert that parallel compilation is bit-identical to serial.
+    pub fn semantic_eq(&self, other: &Self) -> bool {
+        self.op == other.op
+            && self.n_chunks == other.n_chunks
+            && self.topo.name() == other.topo.name()
+            && self.topo.spec() == other.topo.spec()
+            && self.dag == other.dag
+            && self.schedule == other.schedule
+            && self.alloc == other.alloc
+            && self.program == other.program
     }
 }
 

@@ -23,7 +23,7 @@ use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology};
 use std::collections::HashMap;
 
 /// The dependency DAG for one algorithm on one topology.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DepDag {
     tasks: Vec<Task>,
     /// Data-dependency predecessors of each task.
@@ -48,6 +48,18 @@ impl DepDag {
     /// Fails if the spec's rank count does not match the topology, or if
     /// (defensively) a dependency cycle is detected.
     pub fn build(spec: &AlgoSpec, topo: &Topology) -> Result<Self> {
+        Self::build_with_threads(spec, topo, 1)
+    }
+
+    /// [`DepDag::build`] with per-chunk dependency analysis fanned out over
+    /// `threads` worker threads.
+    ///
+    /// Every data-dependency edge connects two tasks of the same chunk, so
+    /// the per-chunk edge lists are disjoint and can be computed
+    /// independently; they are then applied in ascending chunk order, which
+    /// reproduces the serial construction exactly — the result is identical
+    /// for any thread count.
+    pub fn build_with_threads(spec: &AlgoSpec, topo: &Topology, threads: usize) -> Result<Self> {
         if spec.n_ranks() != topo.n_ranks() {
             return Err(IrError::new(format!(
                 "algorithm `{}` is for {} ranks but topology `{}` has {}",
@@ -89,51 +101,35 @@ impl DepDag {
         }
 
         // Data dependencies, per chunk: track the latest delivery into each
-        // rank's slot of this chunk, step by step.
-        for chunk_tasks in &by_chunk {
-            // last_write[rank] = all tasks of the most recent writing step
-            // that delivered this chunk into `rank`. Several same-step
-            // reductions may write one slot (commutative), and later
-            // readers must wait for every one of them.
-            let mut last_write: HashMap<Rank, Vec<TaskId>> = HashMap::new();
-            let mut i = 0;
-            while i < chunk_tasks.len() {
-                // Process all tasks of one step together: deliveries of the
-                // current step must not appear as predecessors of same-step
-                // reads (the DSL's total order is strict between steps only).
-                let step = tasks[chunk_tasks[i].index()].step;
-                let mut j = i;
-                while j < chunk_tasks.len() && tasks[chunk_tasks[j].index()].step == step {
-                    j += 1;
-                }
-                let group = &chunk_tasks[i..j];
-                // Reads (the send side) and overwrites both depend on every
-                // latest earlier-step write.
-                for &tid in group {
-                    let t = tasks[tid.index()];
-                    if let Some(ws) = last_write.get(&t.src) {
-                        for &w in ws {
-                            add_edge(&mut preds, &mut succs, w, tid);
+        // rank's slot of this chunk, step by step. The per-chunk edge lists
+        // are disjoint (both endpoints of every edge move the same chunk),
+        // so chunks can be analysed in parallel; applying the lists in
+        // ascending chunk order keeps preds/succs bit-identical to the
+        // serial construction.
+        let chunk_edges: Vec<Vec<(TaskId, TaskId)>> = if threads <= 1 || by_chunk.len() <= 1 {
+            by_chunk
+                .iter()
+                .map(|chunk_tasks| edges_for_chunk(&tasks, chunk_tasks))
+                .collect()
+        } else {
+            let mut out: Vec<Vec<(TaskId, TaskId)>> = vec![Vec::new(); by_chunk.len()];
+            let workers = threads.min(by_chunk.len());
+            let stride = by_chunk.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (slots, chunks) in out.chunks_mut(stride).zip(by_chunk.chunks(stride)) {
+                    let tasks = &tasks;
+                    scope.spawn(move || {
+                        for (slot, chunk_tasks) in slots.iter_mut().zip(chunks) {
+                            *slot = edges_for_chunk(tasks, chunk_tasks);
                         }
-                    }
-                    if let Some(ws) = last_write.get(&t.dst) {
-                        for &w in ws {
-                            if w != tid {
-                                add_edge(&mut preds, &mut succs, w, tid);
-                            }
-                        }
-                    }
+                    });
                 }
-                // Commit this step's writes, replacing any older step's.
-                let mut fresh: HashMap<Rank, Vec<TaskId>> = HashMap::new();
-                for &tid in group {
-                    let t = tasks[tid.index()];
-                    fresh.entry(t.dst).or_default().push(tid);
-                }
-                for (rank, writers) in fresh {
-                    last_write.insert(rank, writers);
-                }
-                i = j;
+            });
+            out
+        };
+        for edges in &chunk_edges {
+            for &(from, to) in edges {
+                add_edge(&mut preds, &mut succs, from, to);
             }
         }
 
@@ -305,6 +301,56 @@ fn add_edge(preds: &mut [Vec<TaskId>], succs: &mut [Vec<TaskId>], from: TaskId, 
         preds[to.index()].push(from);
         succs[from.index()].push(to);
     }
+}
+
+/// RAW/WAW edges of one chunk's task chain, in discovery order.
+///
+/// `last_write[rank]` holds all tasks of the most recent writing step that
+/// delivered this chunk into `rank`. Several same-step reductions may write
+/// one slot (commutative), and later readers must wait for every one of
+/// them. Steps are processed as groups: deliveries of the current step must
+/// not appear as predecessors of same-step reads (the DSL's total order is
+/// strict between steps only).
+fn edges_for_chunk(tasks: &[Task], chunk_tasks: &[TaskId]) -> Vec<(TaskId, TaskId)> {
+    let mut edges = Vec::new();
+    let mut last_write: HashMap<Rank, Vec<TaskId>> = HashMap::new();
+    let mut i = 0;
+    while i < chunk_tasks.len() {
+        let step = tasks[chunk_tasks[i].index()].step;
+        let mut j = i;
+        while j < chunk_tasks.len() && tasks[chunk_tasks[j].index()].step == step {
+            j += 1;
+        }
+        let group = &chunk_tasks[i..j];
+        // Reads (the send side) and overwrites both depend on every latest
+        // earlier-step write.
+        for &tid in group {
+            let t = tasks[tid.index()];
+            if let Some(ws) = last_write.get(&t.src) {
+                for &w in ws {
+                    edges.push((w, tid));
+                }
+            }
+            if let Some(ws) = last_write.get(&t.dst) {
+                for &w in ws {
+                    if w != tid {
+                        edges.push((w, tid));
+                    }
+                }
+            }
+        }
+        // Commit this step's writes, replacing any older step's.
+        let mut fresh: HashMap<Rank, Vec<TaskId>> = HashMap::new();
+        for &tid in group {
+            let t = tasks[tid.index()];
+            fresh.entry(t.dst).or_default().push(tid);
+        }
+        for (rank, writers) in fresh {
+            last_write.insert(rank, writers);
+        }
+        i = j;
+    }
+    edges
 }
 
 #[cfg(test)]

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a task inside its [`DepDag`](crate::DepDag).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 impl TaskId {

@@ -36,7 +36,10 @@ pub fn emit_rank_kernel(prog: &KernelProgram, rank: usize) -> String {
     for (tb_idx, tb) in rp.tbs.iter().enumerate() {
         let _ = writeln!(out, "    case {tb_idx}: {{ // TB {tb_idx}");
         if tb.slots.is_empty() {
-            let _ = writeln!(out, "        // (idle channel TB — occupies an SM, does nothing)");
+            let _ = writeln!(
+                out,
+                "        // (idle channel TB — occupies an SM, does nothing)"
+            );
         } else {
             match prog.loop_order {
                 LoopOrder::SlotMajor => {
@@ -104,7 +107,11 @@ pub fn emit_rank_kernel(prog: &KernelProgram, rank: usize) -> String {
                             prim_name,
                             slot.peer.0,
                             slot.chunk.0,
-                            if slot.fused_with_prev { " // fused" } else { "" }
+                            if slot.fused_with_prev {
+                                " // fused"
+                            } else {
+                                ""
+                            }
                         );
                         let _ = writeln!(
                             out,
@@ -167,7 +174,11 @@ __device__ void prim_recv_reduce_send(ResCCLArgs* args, int peer, int chunk, int
 /// Render all ranks' kernels into one translation unit.
 pub fn emit_all(prog: &KernelProgram) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// === ResCCL lightweight kernels: {} ===", prog.algo_name);
+    let _ = writeln!(
+        out,
+        "// === ResCCL lightweight kernels: {} ===",
+        prog.algo_name
+    );
     let _ = writeln!(out, "#include \"resccl_runtime.cuh\"");
     let _ = writeln!(out);
     for rank in 0..prog.ranks.len() {
@@ -223,7 +234,11 @@ mod tests {
         let p = program(LoopOrder::MicroBatchMajor);
         let src = emit_rank_kernel(&p, 0);
         let loops = src.matches("for (int mb").count();
-        let tbs = p.ranks[0].tbs.iter().filter(|t| !t.slots.is_empty()).count();
+        let tbs = p.ranks[0]
+            .tbs
+            .iter()
+            .filter(|t| !t.slots.is_empty())
+            .count();
         assert_eq!(loops, tbs);
     }
 
@@ -277,7 +292,10 @@ mod tests {
     fn every_slot_waits_and_posts() {
         let p = program(LoopOrder::SlotMajor);
         let src = emit_all(&p);
-        assert_eq!(src.matches("wait_deps").count(), src.matches("post_done").count());
+        assert_eq!(
+            src.matches("wait_deps").count(),
+            src.matches("post_done").count()
+        );
         assert_eq!(src.matches("wait_deps").count(), p.total_slots());
     }
 }

@@ -65,10 +65,8 @@ pub fn fuse(program: &mut KernelProgram, dag: &DepDag) -> FusionStats {
                 if cur.primitive != Primitive::Send || cur.fused_with_prev {
                     continue;
                 }
-                let prev_is_recv = matches!(
-                    prev.primitive,
-                    Primitive::Recv | Primitive::RecvReduceCopy
-                );
+                let prev_is_recv =
+                    matches!(prev.primitive, Primitive::Recv | Primitive::RecvReduceCopy);
                 if !prev_is_recv
                     || prev.chunk != cur.chunk
                     || dag.task(prev.task).dst != dag.task(cur.task).src
@@ -152,7 +150,12 @@ mod tests {
     fn fused_flag_only_on_sends() {
         let (dag, mut prog) = chain_program();
         fuse(&mut prog, &dag);
-        for slot in prog.ranks.iter().flat_map(|r| r.tbs.iter()).flat_map(|t| t.slots.iter()) {
+        for slot in prog
+            .ranks
+            .iter()
+            .flat_map(|r| r.tbs.iter())
+            .flat_map(|t| t.slots.iter())
+        {
             if slot.fused_with_prev {
                 assert_eq!(slot.primitive, Primitive::Send);
             }

@@ -128,6 +128,40 @@ impl KernelSlot {
     }
 }
 
+/// Lower one rank's TB plan into its [`RankProgram`].
+fn lower_rank(dag: &DepDag, r: usize, plan: &rescc_alloc::RankTbPlan) -> RankProgram {
+    RankProgram {
+        rank: Rank::new(r as u32),
+        tbs: plan
+            .tbs
+            .iter()
+            .map(|tb| TbProgram {
+                slots: tb
+                    .slots
+                    .iter()
+                    .map(|slot| {
+                        let t = dag.task(slot.task);
+                        KernelSlot {
+                            task: slot.task,
+                            primitive: Primitive::for_side(slot.dir, t.comm),
+                            peer: if slot.dir == Direction::Send {
+                                t.dst
+                            } else {
+                                t.src
+                            },
+                            chunk: t.chunk,
+                            sub_pipeline: slot.sub_pipeline,
+                            fused_with_prev: false,
+                        }
+                    })
+                    .collect(),
+                mb_stride: tb.mb_stride,
+                mb_offset: tb.mb_offset,
+            })
+            .collect(),
+    }
+}
+
 /// The program of one TB.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TbProgram {
@@ -193,37 +227,52 @@ impl KernelProgram {
         loop_order: LoopOrder,
         exec: ExecMode,
     ) -> Self {
-        let ranks = alloc
-            .per_rank
-            .iter()
-            .enumerate()
-            .map(|(r, plan)| RankProgram {
-                rank: Rank::new(r as u32),
-                tbs: plan
-                    .tbs
-                    .iter()
-                    .map(|tb| TbProgram {
-                        slots: tb
-                            .slots
-                            .iter()
-                            .map(|slot| {
-                                let t = dag.task(slot.task);
-                                KernelSlot {
-                                    task: slot.task,
-                                    primitive: Primitive::for_side(slot.dir, t.comm),
-                                    peer: if slot.dir == Direction::Send { t.dst } else { t.src },
-                                    chunk: t.chunk,
-                                    sub_pipeline: slot.sub_pipeline,
-                                    fused_with_prev: false,
-                                }
-                            })
-                            .collect(),
-                        mb_stride: tb.mb_stride,
-                        mb_offset: tb.mb_offset,
-                    })
-                    .collect(),
-            })
-            .collect();
+        Self::generate_with_threads(algo_name, dag, alloc, loop_order, exec, 1)
+    }
+
+    /// [`KernelProgram::generate`] with per-rank lowering fanned out over
+    /// `threads` worker threads.
+    ///
+    /// Each rank's program is a pure function of that rank's TB plan, so
+    /// ranks lower independently; collecting them in rank order makes the
+    /// output identical for any thread count.
+    pub fn generate_with_threads(
+        algo_name: impl Into<String>,
+        dag: &DepDag,
+        alloc: &TbAllocation,
+        loop_order: LoopOrder,
+        exec: ExecMode,
+        threads: usize,
+    ) -> Self {
+        let n_ranks = alloc.per_rank.len();
+        let ranks: Vec<RankProgram> = if threads <= 1 || n_ranks <= 1 {
+            alloc
+                .per_rank
+                .iter()
+                .enumerate()
+                .map(|(r, plan)| lower_rank(dag, r, plan))
+                .collect()
+        } else {
+            let workers = threads.min(n_ranks);
+            let stride = n_ranks.div_ceil(workers);
+            let mut out: Vec<Option<RankProgram>> = (0..n_ranks).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (base, (slots, plans)) in out
+                    .chunks_mut(stride)
+                    .zip(alloc.per_rank.chunks(stride))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        for (k, (slot, plan)) in slots.iter_mut().zip(plans).enumerate() {
+                            *slot = Some(lower_rank(dag, base * stride + k, plan));
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|r| r.expect("all ranks lowered"))
+                .collect()
+        };
         Self {
             algo_name: algo_name.into(),
             ranks,

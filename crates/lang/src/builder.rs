@@ -32,7 +32,14 @@ impl AlgoBuilder {
 
     /// Declare a transfer. Arguments mirror the DSL's
     /// `transfer(srcRank, dstRank, step, chunkId, commType)`.
-    pub fn transfer(&mut self, src: u32, dst: u32, step: u32, chunk: u32, comm: CommType) -> &mut Self {
+    pub fn transfer(
+        &mut self,
+        src: u32,
+        dst: u32,
+        step: u32,
+        chunk: u32,
+        comm: CommType,
+    ) -> &mut Self {
         self.transfers.push(TransferRec {
             src: Rank::new(src),
             dst: Rank::new(dst),
@@ -65,7 +72,12 @@ impl AlgoBuilder {
 
     /// Validate and finish.
     pub fn build(&self) -> Result<AlgoSpec> {
-        AlgoSpec::new(self.name.clone(), self.op, self.n_ranks, self.transfers.clone())
+        AlgoSpec::new(
+            self.name.clone(),
+            self.op,
+            self.n_ranks,
+            self.transfers.clone(),
+        )
     }
 }
 

@@ -42,7 +42,8 @@ mod tests {
 
     #[test]
     fn caret_points_at_the_error() {
-        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, rcv)\n";
+        let src =
+            "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, rcv)\n";
         let err = parse(src).unwrap_err();
         let rendered = render_diagnostic(&err, src, "<test>");
         assert!(rendered.contains("--> <test>:2:"), "{rendered}");

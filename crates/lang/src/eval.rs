@@ -94,8 +94,12 @@ impl EvalCx {
                 let dst = self.eval_exp(&args[1])?;
                 let step = self.eval_exp(&args[2])?;
                 let chunk = self.eval_exp(&args[3])?;
-                for (what, v) in [("srcRank", src), ("dstRank", dst), ("step", step), ("chunkId", chunk)]
-                {
+                for (what, v) in [
+                    ("srcRank", src),
+                    ("dstRank", dst),
+                    ("step", step),
+                    ("chunkId", chunk),
+                ] {
                     if v < 0 || v > u32::MAX as i64 {
                         return Err(LangError::eval(format!(
                             "transfer {what} evaluated to {v}, outside the valid range"
@@ -139,9 +143,11 @@ impl EvalCx {
     fn eval_exp(&self, exp: &Exp) -> Result<i64> {
         match exp {
             Exp::Int(v) => Ok(*v),
-            Exp::Var(name) => self.env.get(name).copied().ok_or_else(|| {
-                LangError::eval(format!("undefined variable `{name}`"))
-            }),
+            Exp::Var(name) => self
+                .env
+                .get(name)
+                .copied()
+                .ok_or_else(|| LangError::eval(format!("undefined variable `{name}`"))),
             Exp::Bin { op, lhs, rhs } => {
                 let l = self.eval_exp(lhs)?;
                 let r = self.eval_exp(rhs)?;
@@ -229,7 +235,8 @@ def ResCCLAlgo(nRanks=8, GPUPerNode=4, OpType="Allgather"):
 
     #[test]
     fn undefined_variable_errors() {
-        let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, ghost, 0, 0, recv)\n";
+        let src =
+            "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, ghost, 0, 0, recv)\n";
         let err = eval_source(src).unwrap_err();
         assert!(err.to_string().contains("undefined variable `ghost`"));
     }
@@ -237,12 +244,16 @@ def ResCCLAlgo(nRanks=8, GPUPerNode=4, OpType="Allgather"):
     #[test]
     fn division_by_zero_errors() {
         let src = "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1 / 0\n";
-        assert!(eval_source(src).unwrap_err().to_string().contains("division by zero"));
+        assert!(eval_source(src)
+            .unwrap_err()
+            .to_string()
+            .contains("division by zero"));
     }
 
     #[test]
     fn negative_transfer_argument_errors() {
-        let src = "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 0-1, 0, 0, recv)\n";
+        let src =
+            "def ResCCLAlgo(nRanks=4, OpType=\"Allgather\"):\n    transfer(0, 0-1, 0, 0, recv)\n";
         let err = eval_source(src).unwrap_err();
         assert!(err.to_string().contains("dstRank"));
     }
@@ -283,18 +294,12 @@ def ResCCLAlgo(nRanks=8, OpType="Allgather"):
     #[test]
     fn missing_nranks_errors() {
         let src = "def ResCCLAlgo(OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n";
-        assert!(eval_source(src)
-            .unwrap_err()
-            .to_string()
-            .contains("nRanks"));
+        assert!(eval_source(src).unwrap_err().to_string().contains("nRanks"));
     }
 
     #[test]
     fn missing_optype_errors() {
         let src = "def ResCCLAlgo(nRanks=2):\n    transfer(0, 1, 0, 0, recv)\n";
-        assert!(eval_source(src)
-            .unwrap_err()
-            .to_string()
-            .contains("OpType"));
+        assert!(eval_source(src).unwrap_err().to_string().contains("OpType"));
     }
 }

@@ -52,4 +52,4 @@ pub use parser::parse;
 pub use pretty::pretty;
 pub use spec::{AlgoSpec, TransferRec};
 pub use token::{Tok, Token};
-pub use verify::verify_collective;
+pub use verify::{verify_collective, verify_collective_with_threads};

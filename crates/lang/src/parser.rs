@@ -223,7 +223,10 @@ impl Parser {
                 return Err(LangError::parse(
                     t.line,
                     t.col,
-                    format!("expected communication type `recv` or `rrc`, found {}", t.tok),
+                    format!(
+                        "expected communication type `recv` or `rrc`, found {}",
+                        t.tok
+                    ),
                 ))
             }
         };
@@ -318,13 +321,17 @@ def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
 
     #[test]
     fn precedence_mul_over_add() {
-        let p = parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1 + 2 * 3\n")
-            .unwrap();
+        let p =
+            parse("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1 + 2 * 3\n").unwrap();
         match &p.body[0] {
             Stat::Assign { value, .. } => {
                 // 1 + (2*3)
                 match value {
-                    Exp::Bin { op: BinOp::Add, rhs, .. } => {
+                    Exp::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(**rhs, Exp::Bin { op: BinOp::Mul, .. }));
                     }
                     other => panic!("wrong tree: {other:?}"),

@@ -29,31 +29,79 @@ type Val = Vec<u16>;
 
 /// Statically verify that `spec` implements its declared operator.
 pub fn verify_collective(spec: &AlgoSpec) -> Result<()> {
-    let n = spec.n_ranks() as usize;
+    verify_collective_with_threads(spec, 1)
+}
+
+/// [`verify_collective`] with per-chunk verification fanned out over
+/// `threads` worker threads.
+///
+/// Every transfer reads and writes only its own chunk's buffer slots, so
+/// the symbolic execution decomposes exactly into one independent run per
+/// chunk (this also caps the symbolic state at O(threads · ranks²) instead
+/// of O(ranks³)). When several chunks are broken, the error reported is
+/// always the lowest-numbered chunk's, independent of thread count.
+pub fn verify_collective_with_threads(spec: &AlgoSpec, threads: usize) -> Result<()> {
     let chunks = spec.n_chunks() as usize;
 
-    // Initial state, mirroring the operator's input contract.
-    let mut state: Vec<Vec<Val>> = (0..n)
+    // Transfers bucketed per chunk, in declaration order (the per-step
+    // stable sort happens inside `verify_chunk`).
+    let mut by_chunk: Vec<Vec<&crate::spec::TransferRec>> = vec![Vec::new(); chunks];
+    for t in spec.transfers() {
+        by_chunk[t.chunk.index()].push(t);
+    }
+
+    if threads <= 1 || chunks <= 1 {
+        for (c, transfers) in by_chunk.iter().enumerate() {
+            verify_chunk(spec, c, transfers)?;
+        }
+        return Ok(());
+    }
+
+    let workers = threads.min(chunks);
+    let stride = chunks.div_ceil(workers);
+    let mut results: Vec<Result<()>> = vec![Ok(()); chunks];
+    std::thread::scope(|scope| {
+        for (slot_base, (slots, chunk_lists)) in results
+            .chunks_mut(stride)
+            .zip(by_chunk.chunks(stride))
+            .enumerate()
+        {
+            let by_chunk = chunk_lists;
+            scope.spawn(move || {
+                for (k, (slot, transfers)) in slots.iter_mut().zip(by_chunk).enumerate() {
+                    *slot = verify_chunk(spec, slot_base * stride + k, transfers);
+                }
+            });
+        }
+    });
+    // Deterministic error selection: lowest chunk first.
+    results.into_iter().collect()
+}
+
+/// Symbolically execute one chunk's transfers and check its slice of the
+/// operator contract.
+fn verify_chunk(spec: &AlgoSpec, c: usize, transfers: &[&crate::spec::TransferRec]) -> Result<()> {
+    let n = spec.n_ranks() as usize;
+
+    // Initial per-rank state of this chunk's slot, mirroring the
+    // operator's input contract.
+    let mut state: Vec<Val> = (0..n)
         .map(|r| {
-            (0..chunks)
-                .map(|c| {
-                    let mut v = vec![0u16; n];
-                    match spec.op() {
-                        OpType::AllGather => {
-                            if r == c {
-                                v[r] = 1;
-                            }
-                        }
-                        OpType::AllReduce | OpType::ReduceScatter => v[r] = 1,
+            let mut v = vec![0u16; n];
+            match spec.op() {
+                OpType::AllGather => {
+                    if r == c {
+                        v[r] = 1;
                     }
-                    v
-                })
-                .collect()
+                }
+                OpType::AllReduce | OpType::ReduceScatter => v[r] = 1,
+            }
+            v
         })
         .collect();
 
     // Transfers grouped by step.
-    let mut transfers = spec.transfers().to_vec();
+    let mut transfers = transfers.to_vec();
     transfers.sort_by_key(|t| t.step);
     let mut i = 0;
     while i < transfers.len() {
@@ -68,7 +116,7 @@ pub fn verify_collective(spec: &AlgoSpec) -> Result<()> {
         let reads: Vec<Val> = group
             .iter()
             .map(|t| {
-                let v = state[t.src.index()][t.chunk.index()].clone();
+                let v = state[t.src.index()].clone();
                 if v.iter().all(|&c| c == 0) {
                     return Err(LangError::eval(format!(
                         "`{}`: step {} sends uninitialized data — transfer {}->{} of chunk {} \
@@ -85,10 +133,10 @@ pub fn verify_collective(spec: &AlgoSpec) -> Result<()> {
             .collect::<Result<_>>()?;
 
         // Same-step plain copies into one slot race nondeterministically.
-        let mut copy_targets: Vec<(u32, u32)> = group
+        let mut copy_targets: Vec<u32> = group
             .iter()
             .filter(|t| t.comm == CommType::Recv)
-            .map(|t| (t.dst.0, t.chunk.0))
+            .map(|t| t.dst.0)
             .collect();
         copy_targets.sort_unstable();
         for w in copy_targets.windows(2) {
@@ -98,15 +146,15 @@ pub fn verify_collective(spec: &AlgoSpec) -> Result<()> {
                      the result would be nondeterministic",
                     spec.name(),
                     step,
-                    w[0].0,
-                    w[0].1
+                    w[0],
+                    c
                 )));
             }
         }
 
         // Commit writes.
         for (t, val) in group.iter().zip(reads) {
-            let slot = &mut state[t.dst.index()][t.chunk.index()];
+            let slot = &mut state[t.dst.index()];
             match t.comm {
                 CommType::Recv => slot.copy_from_slice(&val),
                 CommType::Rrc => {
@@ -119,34 +167,31 @@ pub fn verify_collective(spec: &AlgoSpec) -> Result<()> {
         i = j;
     }
 
-    // Final contract.
-    for r in 0..n {
-        for c in 0..chunks {
-            let got = &state[r][c];
-            let want: Option<Val> = match spec.op() {
-                OpType::AllGather => {
-                    let mut v = vec![0u16; n];
-                    v[c] = 1;
-                    Some(v)
+    // Final contract for this chunk's column.
+    for (r, got) in state.iter().enumerate() {
+        let want: Option<Val> = match spec.op() {
+            OpType::AllGather => {
+                let mut v = vec![0u16; n];
+                v[c] = 1;
+                Some(v)
+            }
+            OpType::AllReduce => Some(vec![1u16; n]),
+            OpType::ReduceScatter => {
+                if r == c {
+                    Some(vec![1u16; n])
+                } else {
+                    None
                 }
-                OpType::AllReduce => Some(vec![1u16; n]),
-                OpType::ReduceScatter => {
-                    if r == c {
-                        Some(vec![1u16; n])
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(want) = want {
-                if *got != want {
-                    return Err(LangError::eval(format!(
-                        "`{}` does not implement {}: rank r{r} chunk c{c} ends with \
-                         contributions {got:?}, expected {want:?}",
-                        spec.name(),
-                        spec.op()
-                    )));
-                }
+            }
+        };
+        if let Some(want) = want {
+            if *got != want {
+                return Err(LangError::eval(format!(
+                    "`{}` does not implement {}: rank r{r} chunk c{c} ends with \
+                     contributions {got:?}, expected {want:?}",
+                    spec.name(),
+                    spec.op()
+                )));
             }
         }
     }

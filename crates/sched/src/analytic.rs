@@ -52,17 +52,16 @@ pub fn algorithm_level_time_ns(n: u32, load: &LinkLoad) -> f64 {
 pub fn stage_level_time_ns(n: u32, load: &LinkLoad, stages: &[Vec<usize>]) -> f64 {
     assert!(!stages.is_empty(), "need at least one stage");
     let z = stages.len() as u32;
-    let penalty = load.params.gamma_ns * load.params.contention_penalty(z.max(
-        load.params.saturation_tbs, // z_k counts extra concurrency beyond the base TB
-    ));
+    let penalty = load.params.gamma_ns
+        * load.params.contention_penalty(z.max(
+            load.params.saturation_tbs, // z_k counts extra concurrency beyond the base TB
+        ));
     stages
         .iter()
         .map(|task_idxs| {
             let sum: f64 = task_idxs
                 .iter()
-                .map(|&j| {
-                    z as f64 * load.task_cost_ns() + penalty + load.bubbles_ns[j]
-                })
+                .map(|&j| z as f64 * load.task_cost_ns() + penalty + load.bubbles_ns[j])
                 .sum();
             n as f64 * sum
         })

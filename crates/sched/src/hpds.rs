@@ -45,7 +45,9 @@ pub fn hpds(dag: &DepDag) -> Schedule {
         // Line 6-7: start a new sub-pipeline with all flags set.
         let mut pc: Vec<TaskId> = Vec::new();
         let mut pc_load: HashMap<ResourceId, u32> = HashMap::new();
-        let mut flags: Vec<bool> = (0..n_chunks).map(|c| !chunk_pending[c].is_empty()).collect();
+        let mut flags: Vec<bool> = (0..n_chunks)
+            .map(|c| !chunk_pending[c].is_empty())
+            .collect();
 
         // Line 8: loop until no flagged chunk remains.
         while let Some(c) = select_chunk(&flags, &priority) {

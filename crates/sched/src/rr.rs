@@ -36,6 +36,8 @@ pub fn round_robin(dag: &DepDag) -> Schedule {
         // nothing; then seal the sub-pipeline.
         while progressed {
             progressed = false;
+            // Range loop: the body also mutates `chunk_pending[c]`.
+            #[allow(clippy::needless_range_loop)]
             for c in 0..n_chunks {
                 let mut node_list: Vec<TaskId> = Vec::new();
                 let mut claimed: HashMap<ResourceId, u32> = HashMap::new();

@@ -136,10 +136,7 @@ mod tests {
     fn detects_dependency_in_later_sub_pipeline() {
         let dag = tiny_dag();
         let s = Schedule {
-            sub_pipelines: vec![
-                vec![TaskId::new(1), TaskId::new(2)],
-                vec![TaskId::new(0)],
-            ],
+            sub_pipelines: vec![vec![TaskId::new(1), TaskId::new(2)], vec![TaskId::new(0)]],
             policy: "test".into(),
         };
         assert!(s.validate(&dag).is_err());

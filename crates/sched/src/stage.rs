@@ -22,12 +22,7 @@ impl StagePartition {
     /// fewer than `k` stages.
     pub fn by_steps(dag: &DepDag, k: u32) -> Self {
         assert!(k >= 1, "need at least one stage");
-        let max_step = dag
-            .tasks()
-            .iter()
-            .map(|t| t.step.0)
-            .max()
-            .unwrap_or(0);
+        let max_step = dag.tasks().iter().map(|t| t.step.0).max().unwrap_or(0);
         let n_steps = max_step + 1;
         let band = n_steps.div_ceil(k);
         let mut stages: Vec<Vec<TaskId>> = vec![Vec::new(); k as usize];

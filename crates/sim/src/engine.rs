@@ -26,12 +26,12 @@ use crate::error::{SimError, SimResult};
 use crate::metrics::{ResourceStat, SimReport, TbStat};
 use crate::trace::TraceEvent;
 use crate::value::{expected_final, initial_value, ChunkValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rescc_ir::{DepDag, MicroBatchPlan, TaskId};
 use rescc_kernel::{KernelProgram, LoopOrder};
 use rescc_lang::{CommType, OpType};
 use rescc_topology::{LinkParams, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -102,6 +102,11 @@ struct TbState {
     groups: Vec<IssueGroup>,
     group_idx: usize,
     group_remaining: u32,
+    /// Fused forwards issued but not yet drained. They never gate
+    /// `group_remaining` — the TB advances to its next micro-batch as soon
+    /// as the gating slots retire — but the TB is not released until they
+    /// finish.
+    async_outstanding: u32,
     busy: f64,
     sync: f64,
     release: f64,
@@ -293,6 +298,7 @@ impl<'a> Engine<'a> {
                     groups,
                     group_idx: 0,
                     group_remaining: 0,
+                    async_outstanding: 0,
                     busy: 0.0,
                     sync: 0.0,
                     release: 0.0,
@@ -337,7 +343,9 @@ impl<'a> Engine<'a> {
             // A fused forward's dependency on its feeder is replaced by the
             // cut-through start gate.
             if fused_pred[t] != NONE
-                && dag.preds(TaskId::new(t as u32)).contains(&TaskId::new(fused_pred[t]))
+                && dag
+                    .preds(TaskId::new(t as u32))
+                    .contains(&TaskId::new(fused_pred[t]))
             {
                 preds -= 1;
             }
@@ -345,7 +353,6 @@ impl<'a> Engine<'a> {
                 invs[t * n_mb as usize + mb as usize].deps_remaining = preds;
             }
         }
-
 
         // Barrier groups.
         let (barrier_group_of, barrier_members, barrier_remaining) =
@@ -376,9 +383,7 @@ impl<'a> Engine<'a> {
             (0..n_mb)
                 .map(|_| {
                     (0..n_ranks)
-                        .flat_map(|r| {
-                            (0..n_chunks).map(move |c| initial_value(op, n_ranks, r, c))
-                        })
+                        .flat_map(|r| (0..n_chunks).map(move |c| initial_value(op, n_ranks, r, c)))
                         .collect()
                 })
                 .collect()
@@ -506,12 +511,35 @@ impl<'a> Engine<'a> {
         let now = self.now;
         let tb = &mut self.tbs[tb_id as usize];
         if tb.group_idx >= tb.groups.len() {
-            tb.release = now;
+            // Released only once every asynchronous fused forward it issued
+            // has drained (otherwise the last completion sets release).
+            if tb.async_outstanding == 0 {
+                tb.release = now;
+            }
             return;
         }
         let group = tb.groups[tb.group_idx];
-        tb.group_remaining = group.len;
         let (prog_rank, prog_tb) = (tb.prog_rank, tb.prog_tb);
+        // Fused forwards are issued asynchronously: they register their
+        // sender side now but do not gate the group, so the TB moves on to
+        // the next micro-batch as soon as its gating slots retire — the
+        // cut-through pipelining real fused kernels get from sub-chunk FIFO
+        // slices. Segments always start with an unfused slot, so every
+        // group keeps at least one gating member.
+        let mut gating = 0;
+        let mut fused = 0;
+        for si in group.first_slot..group.first_slot + group.len {
+            let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
+            if slot.fused_with_prev {
+                fused += 1;
+            } else {
+                gating += 1;
+            }
+        }
+        debug_assert!(gating > 0, "issue group with no gating slot");
+        let tb = &mut self.tbs[tb_id as usize];
+        tb.group_remaining = gating;
+        tb.async_outstanding += fused;
         for si in group.first_slot..group.first_slot + group.len {
             let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
             let idx = slot.task.index() * self.n_mb as usize + group.mb as usize;
@@ -552,8 +580,11 @@ impl<'a> Engine<'a> {
         self.invs[idx].started = true;
         let now = self.now;
 
-        // Sync (blocked) time for both sides.
-        self.tbs[inv.send_tb as usize].sync += now - inv.send_arrival;
+        // Sync (blocked) time for both sides. A fused forward's sender side
+        // is asynchronous — its TB was never actually blocked on it.
+        if fp == NONE {
+            self.tbs[inv.send_tb as usize].sync += now - inv.send_arrival;
+        }
         self.tbs[inv.recv_tb as usize].sync += now - inv.recv_arrival;
 
         let t = self.dag.task(task);
@@ -578,8 +609,7 @@ impl<'a> Engine<'a> {
                 .map(|r| self.resources[r.index()].params.alpha_ns)
                 .fold(0.0, f64::max)
         };
-        let extra = if t.inter_node { 0.0 } else { 0.0 };
-        let mut latency = alpha + extra + self.program.exec.overhead_ns();
+        let mut latency = alpha + self.program.exec.overhead_ns();
         if self.config.jitter_frac > 0.0 {
             latency *= 1.0 + self.config.jitter_frac * self.rng.gen::<f64>();
         }
@@ -805,16 +835,28 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Advance both TBs: each participating TB retires one invocation of
-        // its current issue group; when the group drains, the next one is
-        // entered.
-        for tb_id in [send_tb, recv_tb] {
+        // Advance the participating TBs. The sender side of a fused forward
+        // is asynchronous — it never gated its issue group, so its
+        // completion only settles the outstanding count (and the release
+        // time, once the TB has walked off its groups). A gating side
+        // retires one invocation of its current group; when the group
+        // drains, the next one is entered.
+        let send_is_fused = self.fused_task[task.index()];
+        for (tb_id, is_async) in [(send_tb, send_is_fused), (recv_tb, false)] {
             let tb = &mut self.tbs[tb_id as usize];
-            debug_assert!(tb.group_remaining > 0, "TB retired with no open group");
-            tb.group_remaining -= 1;
-            if tb.group_remaining == 0 {
-                tb.group_idx += 1;
-                self.tb_arrive(tb_id);
+            if is_async {
+                debug_assert!(tb.async_outstanding > 0, "async retire without issue");
+                tb.async_outstanding -= 1;
+                if tb.async_outstanding == 0 && tb.group_idx >= tb.groups.len() {
+                    tb.release = now;
+                }
+            } else {
+                debug_assert!(tb.group_remaining > 0, "TB retired with no open group");
+                tb.group_remaining -= 1;
+                if tb.group_remaining == 0 {
+                    tb.group_idx += 1;
+                    self.tb_arrive(tb_id);
+                }
             }
         }
     }
@@ -864,8 +906,16 @@ impl<'a> Engine<'a> {
                     "first blocked invocation: task {task} micro-batch {mb} \
                      (deps remaining {}, sender {}, receiver {})",
                     inv.deps_remaining,
-                    if inv.send_tb == NONE { "absent" } else { "arrived" },
-                    if inv.recv_tb == NONE { "absent" } else { "arrived" },
+                    if inv.send_tb == NONE {
+                        "absent"
+                    } else {
+                        "arrived"
+                    },
+                    if inv.recv_tb == NONE {
+                        "absent"
+                    } else {
+                        "arrived"
+                    },
                 );
                 break;
             }

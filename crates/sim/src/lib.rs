@@ -119,8 +119,15 @@ mod tests {
         let spec = ring_ag(8);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(256 << 20, 8, 1 << 20); // 32 micro-batches
-        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-            .unwrap();
+        let rep = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rep.data_valid, Some(true));
         assert_eq!(rep.n_invocations, 56 * 32);
         // Sanity: bandwidth positive and below NVLink line rate.
@@ -134,8 +141,15 @@ mod tests {
         let spec = ring_ag(8);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(64 << 20, 8, 1 << 20);
-        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-            .unwrap();
+        let rep = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rep.data_valid, Some(true));
     }
 
@@ -156,8 +170,15 @@ mod tests {
         let topo = Topology::a100(1, 4);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(16 << 20, 4, 1 << 20);
-        let rep = simulate(&topo, &dag, &prog, &plan, OpType::ReduceScatter, &SimConfig::default())
-            .unwrap();
+        let rep = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::ReduceScatter,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rep.data_valid, Some(true));
     }
 
@@ -165,16 +186,20 @@ mod tests {
     fn wrong_algorithm_fails_validation() {
         // An "AllGather" that only moves one chunk cannot validate.
         let mut b = AlgoBuilder::new("broken", OpType::AllGather, 4);
-        b.recv(0, 1, 0, 0)
-            .recv(1, 2, 1, 0)
-            .recv(2, 3, 2, 0);
+        b.recv(0, 1, 0, 0).recv(1, 2, 1, 0).recv(2, 3, 2, 0);
         let spec = b.build().unwrap();
         let topo = Topology::a100(1, 4);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(4 << 20, 4, 1 << 20);
-        let err =
-            simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-                .unwrap_err();
+        let err = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("wrong data"), "{err}");
     }
 
@@ -228,8 +253,15 @@ mod tests {
         let spec = hm_ag_2x2();
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(32 << 20, 4, 1 << 20);
-        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-            .unwrap();
+        let rep = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rep.data_valid, Some(true));
     }
 
@@ -283,8 +315,15 @@ mod tests {
         let spec = ring_ag(4);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(16 << 20, 4, 1 << 20);
-        let base = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-            .unwrap();
+        let base = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
         let jit = simulate(
             &topo,
             &dag,
@@ -319,10 +358,24 @@ mod tests {
         let spec = ring_ag(8);
         let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
         let plan = MicroBatchPlan::plan(64 << 20, 8, 1 << 20);
-        let flex = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::default())
-            .unwrap();
-        let rigid = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &SimConfig::rigid())
-            .unwrap();
+        let flex = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let rigid = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::rigid(),
+        )
+        .unwrap();
         let occ_flex: f64 = flex.tb_stats.iter().map(|t| t.occupancy_ns).sum();
         let occ_rigid: f64 = rigid.tb_stats.iter().map(|t| t.occupancy_ns).sum();
         assert!(occ_flex <= occ_rigid);

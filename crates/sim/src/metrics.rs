@@ -145,11 +145,8 @@ impl SimReport {
     /// funnels all traffic through a few hot links (and leaves the rest
     /// idle) scores low even if the hot links are saturated.
     pub fn global_link_utilization(&self) -> f64 {
-        let carrying: Vec<&ResourceStat> = self
-            .resource_stats
-            .iter()
-            .filter(|r| r.bytes > 0)
-            .collect();
+        let carrying: Vec<&ResourceStat> =
+            self.resource_stats.iter().filter(|r| r.bytes > 0).collect();
         if carrying.is_empty() {
             return 0.0;
         }
@@ -165,11 +162,8 @@ impl SimReport {
     /// stricter metric than [`Self::global_link_utilization`] that also
     /// penalizes links draining below line rate.
     pub fn global_bandwidth_utilization(&self) -> f64 {
-        let carrying: Vec<&ResourceStat> = self
-            .resource_stats
-            .iter()
-            .filter(|r| r.bytes > 0)
-            .collect();
+        let carrying: Vec<&ResourceStat> =
+            self.resource_stats.iter().filter(|r| r.bytes > 0).collect();
         if carrying.is_empty() {
             return 0.0;
         }

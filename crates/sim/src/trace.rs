@@ -60,6 +60,7 @@ pub fn render_gantt(events: &[TraceEvent], n_ranks: u32, width: usize) -> String
     for e in events {
         let first = ((e.start_ns / col) as usize).min(width - 1);
         let last = ((e.end_ns / col) as usize).min(width - 1);
+        #[allow(clippy::needless_range_loop)] // `c` drives the overlap math too
         for c in first..=last {
             let cs = c as f64 * col;
             let ce = cs + col;

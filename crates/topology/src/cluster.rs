@@ -26,6 +26,35 @@ use crate::params::{FabricParams, LinkParams};
 use crate::resset::ResourceSet;
 use serde::{Deserialize, Serialize};
 
+/// Error produced when constructing a topology from an invalid preset
+/// selector (e.g. a Table 3 index outside 1..=4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested preset does not exist.
+    UnknownPreset {
+        /// Which preset family was requested ("Table 3 topology").
+        what: &'static str,
+        /// The selector the caller passed.
+        got: String,
+        /// The valid selectors.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownPreset {
+                what,
+                got,
+                expected,
+            } => write!(f, "unknown {what} {got} (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// Whether a connection stays inside a server or crosses the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PathKind {
@@ -184,13 +213,17 @@ impl Topology {
 
     /// The four topologies of Table 3: Topo1 = 2×4, Topo2 = 2×8,
     /// Topo3 = 4×4, Topo4 = 4×8 (A100 fabric).
-    pub fn table3_topo(i: usize) -> Self {
+    pub fn table3_topo(i: usize) -> Result<Self, TopologyError> {
         match i {
-            1 => Self::a100(2, 4),
-            2 => Self::a100(2, 8),
-            3 => Self::a100(4, 4),
-            4 => Self::a100(4, 8),
-            _ => panic!("Table 3 defines Topo1..Topo4, got Topo{i}"),
+            1 => Ok(Self::a100(2, 4)),
+            2 => Ok(Self::a100(2, 8)),
+            3 => Ok(Self::a100(4, 4)),
+            4 => Ok(Self::a100(4, 8)),
+            _ => Err(TopologyError::UnknownPreset {
+                what: "Table 3 topology",
+                got: format!("Topo{i}"),
+                expected: "Topo1..Topo4",
+            }),
         }
     }
 
@@ -319,7 +352,9 @@ impl Topology {
         let ls = self.local_index(src);
         let ld = self.local_index(dst);
         let slot = ls * (g - 1) + if ld < ls { ld } else { ld - 1 };
-        ResourceId::new(2 * self.n_ranks() + 2 * self.n_nics() + node * self.pairs_per_node() + slot)
+        ResourceId::new(
+            2 * self.n_ranks() + 2 * self.n_nics() + node * self.pairs_per_node() + slot,
+        )
     }
 
     /// Decode a resource id back to its meaning.
@@ -343,10 +378,7 @@ impl Topology {
             let ls = slot / (g - 1);
             let rem = slot % (g - 1);
             let ld = if rem < ls { rem } else { rem + 1 };
-            ResourceKind::PairChan(
-                Rank::new(node * g + ls),
-                Rank::new(node * g + ld),
-            )
+            ResourceKind::PairChan(Rank::new(node * g + ls), Rank::new(node * g + ld))
         } else {
             panic!("resource {res} out of range for topology {}", self.name)
         }
@@ -404,7 +436,11 @@ impl Topology {
                 conflict: ResourceSet::from_slice(&[tx, rx]),
                 path: ResourceSet::from_slice(&[tx, rx]),
                 params: self.fabric.inter,
-                extra_latency_ns: if cross { self.fabric.cross_rack_extra_ns } else { 0.0 },
+                extra_latency_ns: if cross {
+                    self.fabric.cross_rack_extra_ns
+                } else {
+                    0.0
+                },
             }
         }
     }
@@ -562,10 +598,18 @@ mod tests {
 
     #[test]
     fn table3_presets() {
-        assert_eq!(Topology::table3_topo(1).n_ranks(), 8);
-        assert_eq!(Topology::table3_topo(2).n_ranks(), 16);
-        assert_eq!(Topology::table3_topo(3).n_ranks(), 16);
-        assert_eq!(Topology::table3_topo(4).n_ranks(), 32);
+        assert_eq!(Topology::table3_topo(1).unwrap().n_ranks(), 8);
+        assert_eq!(Topology::table3_topo(2).unwrap().n_ranks(), 16);
+        assert_eq!(Topology::table3_topo(3).unwrap().n_ranks(), 16);
+        assert_eq!(Topology::table3_topo(4).unwrap().n_ranks(), 32);
+    }
+
+    #[test]
+    fn table3_out_of_range_is_a_typed_error() {
+        let err = Topology::table3_topo(5).unwrap_err();
+        assert!(matches!(err, TopologyError::UnknownPreset { .. }));
+        assert!(err.to_string().contains("Topo5"));
+        assert!(Topology::table3_topo(0).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! use rescc_train::{train_throughput, CclChoice, ModelConfig, ParallelConfig, TrainConfig};
 //!
 //! let report = train_throughput(
-//!     &ModelConfig::gpt3("6.7B"),
+//!     &ModelConfig::gpt3("6.7B").unwrap(),
 //!     &ParallelConfig::gpt3(2, 16),
 //!     CclChoice::Resccl,
 //!     &TrainConfig::default(),
@@ -23,5 +23,5 @@
 mod model;
 mod sim;
 
-pub use model::{Family, ModelConfig, ParallelConfig};
-pub use sim::{train_throughput, CclChoice, TrainConfig, TrainReport};
+pub use model::{Family, ModelConfig, ParallelConfig, UnknownModelSize};
+pub use sim::{plan_cache_stats, train_throughput, CclChoice, TrainConfig, TrainReport};

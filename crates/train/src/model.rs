@@ -4,6 +4,34 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Error produced when a model preset selector is not one of the Fig. 13
+/// configurations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownModelSize {
+    /// The family whose preset table was consulted.
+    pub family: Family,
+    /// The selector the caller passed.
+    pub size: String,
+    /// The valid selectors for that family.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for UnknownModelSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let family = match self.family {
+            Family::Gpt3 => "GPT-3",
+            Family::T5 => "T5",
+        };
+        write!(
+            f,
+            "unknown {family} size {} (use {})",
+            self.size, self.expected
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelSize {}
+
 /// Model family — determines the parallelism strategy of §5.5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Family {
@@ -32,40 +60,52 @@ pub struct ModelConfig {
 
 impl ModelConfig {
     /// GPT-3 variants of Fig. 13. Accepts "6.7B", "13B", "22B", "45B".
-    pub fn gpt3(size: &str) -> Self {
+    pub fn gpt3(size: &str) -> Result<Self, UnknownModelSize> {
         let (params, n_layers, hidden) = match size {
             "6.7B" => (6_700_000_000u64, 32u32, 4096u32),
             "13B" => (13_000_000_000, 40, 5120),
             "22B" => (22_000_000_000, 44, 6144),
             "45B" => (45_000_000_000, 48, 8192),
-            other => panic!("unknown GPT-3 size {other} (use 6.7B/13B/22B/45B)"),
+            other => {
+                return Err(UnknownModelSize {
+                    family: Family::Gpt3,
+                    size: other.to_string(),
+                    expected: "6.7B/13B/22B/45B",
+                })
+            }
         };
-        Self {
+        Ok(Self {
             name: format!("GPT-3 {size}"),
             family: Family::Gpt3,
             params,
             n_layers,
             hidden,
             seq_len: 1024,
-        }
+        })
     }
 
     /// T5 variants of Fig. 13. Accepts "220M", "770M", "3B".
-    pub fn t5(size: &str) -> Self {
+    pub fn t5(size: &str) -> Result<Self, UnknownModelSize> {
         let (params, n_layers, hidden) = match size {
             "220M" => (220_000_000u64, 24u32, 768u32),
             "770M" => (770_000_000, 48, 1024),
             "3B" => (3_000_000_000, 48, 2048),
-            other => panic!("unknown T5 size {other} (use 220M/770M/3B)"),
+            other => {
+                return Err(UnknownModelSize {
+                    family: Family::T5,
+                    size: other.to_string(),
+                    expected: "220M/770M/3B",
+                })
+            }
         };
-        Self {
+        Ok(Self {
             name: format!("T5 {size}"),
             family: Family::T5,
             params,
             n_layers,
             hidden,
             seq_len: 512,
-        }
+        })
     }
 
     /// Training FLOPs per token (forward + backward ≈ 6 × params).
@@ -138,18 +178,23 @@ mod tests {
 
     #[test]
     fn presets_have_sane_shapes() {
-        let m = ModelConfig::gpt3("6.7B");
+        let m = ModelConfig::gpt3("6.7B").unwrap();
         assert_eq!(m.family, Family::Gpt3);
         assert!(m.params > 6_000_000_000);
-        let t = ModelConfig::t5("3B");
+        let t = ModelConfig::t5("3B").unwrap();
         assert_eq!(t.family, Family::T5);
         assert!(t.hidden >= 1024);
     }
 
     #[test]
-    #[should_panic(expected = "unknown GPT-3 size")]
-    fn unknown_size_panics() {
-        ModelConfig::gpt3("9000B");
+    fn unknown_size_is_a_typed_error() {
+        let err = ModelConfig::gpt3("9000B").unwrap_err();
+        assert_eq!(err.family, Family::Gpt3);
+        assert_eq!(err.size, "9000B");
+        assert!(err.to_string().contains("unknown GPT-3 size 9000B"));
+        let err = ModelConfig::t5("11B").unwrap_err();
+        assert_eq!(err.family, Family::T5);
+        assert!(err.to_string().contains("220M/770M/3B"));
     }
 
     #[test]

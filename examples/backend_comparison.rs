@@ -24,9 +24,16 @@ fn main() {
     for (label, spec) in [
         ("expert HM-AllGather", hm_allgather(2, 8)),
         ("expert HM-AllReduce", hm_allreduce(2, 8)),
-        ("synthesized TACCL-like AllReduce", taccl_like_allreduce(2, 8)),
+        (
+            "synthesized TACCL-like AllReduce",
+            taccl_like_allreduce(2, 8),
+        ),
     ] {
-        println!("\n=== {label} on {} ({} MB buffer) ===", topo.name(), buffer >> 20);
+        println!(
+            "\n=== {label} on {} ({} MB buffer) ===",
+            topo.name(),
+            buffer >> 20
+        );
         println!(
             "{:<8} {:>10} {:>8} {:>12} {:>10} {:>10}",
             "backend", "algbw", "TBs", "avg idle", "max idle", "link util"

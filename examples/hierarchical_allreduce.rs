@@ -11,7 +11,6 @@ use rescc::algos::hm_allreduce;
 use rescc::alloc::TbAllocation;
 use rescc::backends::by_step_schedule;
 use rescc::core::Compiler;
-use rescc::sched::hpds;
 use rescc::topology::Topology;
 
 fn main() {
@@ -25,7 +24,9 @@ fn main() {
         algo.transfers().len()
     );
 
-    let plan = Compiler::new().compile_spec(&algo, &topo).expect("compiles");
+    let plan = Compiler::new()
+        .compile_spec(&algo, &topo)
+        .expect("compiles");
 
     // How HPDS organizes the DAG into sub-pipelines.
     let sp = &plan.schedule.sub_pipelines;

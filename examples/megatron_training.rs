@@ -17,7 +17,7 @@ fn main() {
         "model", "GPUs", "NCCL", "MSCCL", "ResCCL"
     );
     for size in ["6.7B", "13B", "45B"] {
-        let model = ModelConfig::gpt3(size);
+        let model = ModelConfig::gpt3(size).expect("known preset");
         let par = if model.params < 13_000_000_000 {
             ParallelConfig::gpt3(2, 16)
         } else {
@@ -39,7 +39,7 @@ fn main() {
 
     println!("\n=== T5 (data parallel, 16 GPUs) ===");
     for size in ["220M", "770M", "3B"] {
-        let model = ModelConfig::t5(size);
+        let model = ModelConfig::t5(size).expect("known preset");
         let par = ParallelConfig::t5(16, 16);
         let n = train_throughput(&model, &par, CclChoice::Nccl, &cfg).expect("train sim");
         let r = train_throughput(&model, &par, CclChoice::Resccl, &cfg).expect("train sim");

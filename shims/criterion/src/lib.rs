@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmark harness (the build
+//! container cannot reach crates.io). Implements the subset the workspace's
+//! benches use — `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput::Elements`, and
+//! `Bencher::iter` — with a simple warmup + timed-batch measurement loop.
+//! Reports mean per-iteration wall time (and element throughput when set)
+//! to stdout; no statistical analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (shim honours `Elements`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark id: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    /// (mean wall time per iteration, iterations measured)
+    result: Option<(Duration, u64)>,
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Warm up, then time `sample_size` batches of the routine and record
+    /// the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~20ms elapsed to size batches.
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed() < Duration::from_millis(20) {
+            std_black_box(routine());
+            cal_iters += 1;
+        }
+        let per_iter = cal_start.elapsed().as_nanos() as u64 / cal_iters.max(1);
+        // Aim for ~10ms per batch, capped so quick runs stay quick.
+        let batch = (10_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((total / iters.max(1) as u32, iters));
+    }
+}
+
+/// A named group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let Some((mean, iters)) = b.result else {
+            println!("{}/{id}: no measurement", self.name);
+            return;
+        };
+        let line = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                format!(
+                    "{}/{id}: {:>12.3?} /iter  ({iters} iters, {per_sec:.0} elem/s)",
+                    self.name, mean
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / 1e6 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+                format!(
+                    "{}/{id}: {:>12.3?} /iter  ({iters} iters, {mbps:.1} MB/s)",
+                    self.name, mean
+                )
+            }
+            None => format!("{}/{id}: {:>12.3?} /iter  ({iters} iters)", self.name, mean),
+        };
+        println!("{line}");
+        self.criterion
+            .results
+            .push((format!("{}/{id}", self.name), mean));
+    }
+}
+
+/// Top-level harness handle passed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    /// (full benchmark id, mean per-iteration duration) in run order.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade. The container this workspace
+//! builds in has no network access to crates.io, so the real serde cannot
+//! be vendored; this shim provides the trait names and the derive macros
+//! the codebase references. The derives expand to nothing — nothing
+//! in-tree performs serde serialization, the derives exist so the public
+//! types advertise intent and the real serde can be dropped in unchanged
+//! once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

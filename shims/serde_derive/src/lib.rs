@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this air-gapped
+//! workspace. The repo derives `Serialize`/`Deserialize` on its public
+//! types so downstream users can persist them, but nothing in-tree
+//! serializes through serde — the derives expand to nothing here.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -49,7 +49,10 @@ fn check_bounds(spec: &AlgoSpec, topo: &Topology) {
     for backend in [
         &RescclBackend::default() as &dyn Backend,
         &NcclBackend::default(),
-        &MscclBackend { interpreter_overhead_ns: 0.0, ..MscclBackend::default() },
+        &MscclBackend {
+            interpreter_overhead_ns: 0.0,
+            ..MscclBackend::default()
+        },
     ] {
         let rep = backend.run_unchecked(spec, topo, buffer, chunk).unwrap();
         assert!(

@@ -44,7 +44,9 @@ fn degrading_a_bottleneck_nic_slows_more_than_an_nvlink() {
     let plan = Compiler::new()
         .compile_spec(&hm_allreduce(2, 4), &topo)
         .unwrap();
-    let base = plan.run_with(128 * MB, MB, &SimConfig::default().without_validation()).unwrap();
+    let base = plan
+        .run_with(128 * MB, MB, &SimConfig::default().without_validation())
+        .unwrap();
 
     // Degrade one NIC to 25%.
     let nic = topo.nic_tx(topo.nic_of(Rank::new(0)));

@@ -16,7 +16,10 @@ fn check(spec: &AlgoSpec, topo: &Topology) {
         .compile_spec(spec, topo)
         .unwrap_or_else(|e| panic!("{} failed to compile: {e}", spec.name()));
     // Two buffer sizes: single micro-batch and multi-micro-batch.
-    for buffer in [spec.n_chunks() as u64 * MB / 2, spec.n_chunks() as u64 * 4 * MB] {
+    for buffer in [
+        spec.n_chunks() as u64 * MB / 2,
+        spec.n_chunks() as u64 * 4 * MB,
+    ] {
         let rep = plan
             .run(buffer, MB)
             .unwrap_or_else(|e| panic!("{} failed to run: {e}", spec.name()));
@@ -32,7 +35,11 @@ fn check(spec: &AlgoSpec, topo: &Topology) {
 
 #[test]
 fn ring_family_all_topologies() {
-    for topo in [Topology::a100(1, 8), Topology::a100(2, 4), Topology::v100(2, 4)] {
+    for topo in [
+        Topology::a100(1, 8),
+        Topology::a100(2, 4),
+        Topology::v100(2, 4),
+    ] {
         let n = topo.n_ranks();
         check(&ring_allgather(n), &topo);
         check(&ring_reduce_scatter(n), &topo);

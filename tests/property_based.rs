@@ -9,10 +9,10 @@
 
 use proptest::prelude::*;
 use rescc::algos::{compose_allreduce, reverse_allgather};
-use rescc::lang::verify_collective;
 use rescc::alloc::TbAllocation;
 use rescc::core::Compiler;
 use rescc::ir::DepDag;
+use rescc::lang::verify_collective;
 use rescc::lang::{parse, pretty, AlgoBuilder, AlgoSpec, OpType};
 use rescc::sched::{hpds, round_robin};
 use rescc::topology::Topology;
@@ -177,5 +177,26 @@ proptest! {
         let spec = random_allgather(8, &seed);
         let dag = DepDag::build(&spec, &topo).unwrap();
         prop_assert_eq!(hpds(&dag), hpds(&dag));
+    }
+
+    #[test]
+    fn parallel_compile_matches_serial(
+        shape_idx in 0usize..4,
+        threads in 2usize..8,
+        seed in prop::collection::vec(0u32..1000, 8..24),
+    ) {
+        // The chunked compile phases (verification, DAG construction,
+        // kernel lowering) must produce the same artifact at any thread
+        // count as the serial pipeline — scheduling stays sequential, so
+        // the whole plan is deterministic.
+        let (nodes, g) = [(1u32, 4u32), (2, 2), (2, 4), (4, 2)][shape_idx];
+        let topo = Topology::a100(nodes, g);
+        let spec = random_allgather(nodes * g, &seed);
+        let serial = Compiler::new().compile_spec(&spec, &topo).unwrap();
+        let parallel = Compiler::new()
+            .with_threads(threads)
+            .compile_spec(&spec, &topo)
+            .unwrap();
+        prop_assert!(serial.semantic_eq(&parallel), "thread count changed the plan");
     }
 }

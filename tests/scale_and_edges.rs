@@ -100,7 +100,9 @@ fn odd_buffer_sizes_with_ragged_tails() {
     let topo = Topology::a100(1, 8);
     let spec = ring_allgather(8);
     for buffer in [17 * MB, 100 * MB + 12345, 3 * MB] {
-        let rep = RescclBackend::default().run(&spec, &topo, buffer, MB).unwrap();
+        let rep = RescclBackend::default()
+            .run(&spec, &topo, buffer, MB)
+            .unwrap();
         assert_eq!(rep.sim.data_valid, Some(true), "buffer {buffer}");
     }
 }
@@ -109,6 +111,8 @@ fn odd_buffer_sizes_with_ragged_tails() {
 fn two_rank_minimum() {
     let topo = Topology::a100(1, 2);
     let spec = ring_allgather(2);
-    let rep = RescclBackend::default().run(&spec, &topo, 8 * MB, MB).unwrap();
+    let rep = RescclBackend::default()
+        .run(&spec, &topo, 8 * MB, MB)
+        .unwrap();
     assert_eq!(rep.sim.data_valid, Some(true));
 }
