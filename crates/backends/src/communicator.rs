@@ -12,16 +12,59 @@
 //!   intra-mesh + inter-ring) — the paper's expert choice for Clos
 //!   clusters.
 
-use crate::{RunReport, DEFAULT_CHUNK_BYTES};
+use crate::{RecoveryStats, RunReport, DEFAULT_CHUNK_BYTES};
 use rescc_algos::{
     hm_allgather, hm_allreduce, hm_reduce_scatter, recursive_halving_doubling_allreduce,
 };
-use rescc_core::{CacheStats, Compiler, PlanCache};
+use rescc_core::{plan_fingerprint, CacheStats, Compiler, PlanCache};
 use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, OpType};
-use rescc_sim::{SimConfig, SimResult};
-use rescc_topology::Topology;
+use rescc_sim::{FaultTimeline, SimConfig, SimError, SimResult};
+use rescc_topology::{ResourceId, Topology, TopologyHealth};
 use std::collections::HashMap;
+
+/// Watchdog/retry knobs for collectives on a faulty fabric.
+///
+/// Transient failures (a flapping link, an expired deadline) are retried up
+/// to [`max_retries`](Self::max_retries) times; each failed attempt burns
+/// its failure time plus an exponentially growing backoff of *sim* time, and
+/// the fault timeline is replayed shifted by the total elapsed time — a
+/// flap that already passed stays passed. Permanent failures mask the dead
+/// resource in a [`TopologyHealth`] overlay and recompile against the
+/// degraded topology, at most [`max_recompiles`](Self::max_recompiles)
+/// times per call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPolicy {
+    /// Per-attempt sim-time deadline (ns); `None` disables the watchdog.
+    pub deadline_ns: Option<f64>,
+    /// Transient-fault retries before giving up.
+    pub max_retries: u32,
+    /// Degraded-topology recompiles before giving up.
+    pub max_recompiles: u32,
+    /// First retry waits this long (sim ns) before relaunching.
+    pub backoff_base_ns: f64,
+    /// Backoff multiplier per further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            deadline_ns: None,
+            max_retries: 8,
+            max_recompiles: 4,
+            backoff_base_ns: 200_000.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// The backoff before retry number `retry` (1-based).
+    fn backoff_ns(&self, retry: u32) -> f64 {
+        self.backoff_base_ns * self.backoff_factor.powi(retry.saturating_sub(1) as i32)
+    }
+}
 
 /// A handle for issuing collectives on a fixed cluster.
 ///
@@ -38,6 +81,17 @@ pub struct Communicator {
     /// Cached specs per (op, small) bucket — algorithm construction is
     /// cheap but deterministic reuse keeps behaviour predictable.
     specs: HashMap<(OpType, bool), AlgoSpec>,
+    /// Fault schedule injected into every collective issued through this
+    /// communicator (sim-time timestamps relative to each call's start).
+    faults: FaultTimeline,
+    /// Watchdog/retry configuration.
+    policy: FaultPolicy,
+    /// Resources masked dead by permanent-fault recovery; sticky across
+    /// calls, the way a real communicator remembers a dead link.
+    health: TopologyHealth,
+    /// Validate collective data in the simulator (off by default, matching
+    /// the dispatch path's large-sweep configuration).
+    validate: bool,
 }
 
 impl Communicator {
@@ -49,6 +103,10 @@ impl Communicator {
             cache: PlanCache::new(),
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             specs: HashMap::new(),
+            faults: FaultTimeline::new(),
+            policy: FaultPolicy::default(),
+            health: TopologyHealth::healthy(),
+            validate: false,
         }
     }
 
@@ -57,6 +115,31 @@ impl Communicator {
         assert!(chunk_bytes > 0);
         self.chunk_bytes = chunk_bytes;
         self
+    }
+
+    /// Inject a fault schedule into every collective issued through this
+    /// communicator. Timestamps are sim time relative to each call's start.
+    pub fn with_faults(mut self, faults: FaultTimeline) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the watchdog/retry policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable machine-checked data validation on every collective.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// The current health mask (resources masked by permanent-fault
+    /// recovery so far).
+    pub fn health(&self) -> &TopologyHealth {
+        &self.health
     }
 
     /// Fan compilation out over `threads` worker threads (the compiled
@@ -121,23 +204,88 @@ impl Communicator {
         let spec = self.select(op, buffer_bytes);
         let chunk = self.chunk_bytes;
         let mb = MicroBatchPlan::plan(buffer_bytes, spec.n_chunks(), chunk);
-        let plan = self
-            .cache
-            .get_or_compile(&self.compiler, &spec, &self.topo, &mb)?;
-        let sim = plan.run_with(
-            buffer_bytes,
-            chunk,
-            &SimConfig::default().without_validation(),
-        )?;
-        Ok(RunReport {
-            backend: "resccl".to_string(),
-            algo: spec.name().to_string(),
-            buffer_bytes,
-            total_tbs: plan.alloc.total_tbs(),
-            max_rank_tbs: plan.alloc.max_rank_tbs(),
-            sim,
-            cache: Some(self.cache.stats()),
-        })
+        // The watchdog only reports recovery accounting when it could have
+        // done something — otherwise the report stays byte-compatible with
+        // a plain healthy dispatch.
+        let engaged =
+            !self.faults.is_empty() || self.policy.deadline_ns.is_some() || !self.health.is_empty();
+        let mut stats = RecoveryStats::default();
+        // Sim time burned by failed attempts + backoff so far. Each retry
+        // replays the fault timeline shifted into the past by this much,
+        // so a flap that already passed stays passed.
+        let mut elapsed = 0.0f64;
+        loop {
+            let topo = self.topo.clone().with_health(self.health.clone());
+            let plan = self
+                .cache
+                .get_or_compile(&self.compiler, &spec, &topo, &mb)?;
+            let fingerprint = plan_fingerprint(&self.compiler, &spec, &topo, &mb);
+            let mut cfg = if self.validate {
+                SimConfig::default()
+            } else {
+                SimConfig::default().without_validation()
+            };
+            if !self.faults.is_empty() {
+                cfg = cfg.with_faults(self.faults.advanced(elapsed));
+            }
+            if let Some(d) = self.policy.deadline_ns {
+                cfg = cfg.with_deadline_ns(d);
+            }
+            match plan.run_with(buffer_bytes, chunk, &cfg) {
+                Ok(sim) => {
+                    stats.recovery_ns = elapsed;
+                    stats.dead_resources = self.health.dead().iter().map(|r| r.0).collect();
+                    stats.plan_fingerprint = fingerprint;
+                    return Ok(RunReport {
+                        backend: "resccl".to_string(),
+                        algo: spec.name().to_string(),
+                        buffer_bytes,
+                        total_tbs: plan.alloc.total_tbs(),
+                        max_rank_tbs: plan.alloc.max_rank_tbs(),
+                        sim,
+                        cache: Some(self.cache.stats()),
+                        recovery: engaged.then_some(stats),
+                    });
+                }
+                Err(err) if err.is_transient() => {
+                    stats.retries += 1;
+                    if stats.retries > self.policy.max_retries {
+                        return Err(err);
+                    }
+                    let failed_at = match &err {
+                        SimError::ResourceDown { at_ns, .. } => *at_ns as f64,
+                        SimError::DeadlineExceeded { deadline_ns, .. } => *deadline_ns as f64,
+                        _ => 0.0,
+                    };
+                    elapsed += failed_at + self.policy.backoff_ns(stats.retries);
+                }
+                Err(SimError::ResourceDown {
+                    resource,
+                    task,
+                    at_ns,
+                    permanent: true,
+                }) => {
+                    stats.recompiles += 1;
+                    if stats.recompiles > self.policy.max_recompiles
+                        || !self.health.mask(ResourceId::new(resource))
+                    {
+                        // Budget exhausted, or the resource was already
+                        // masked (routing could not avoid it): no progress
+                        // is possible.
+                        return Err(SimError::ResourceDown {
+                            resource,
+                            task,
+                            at_ns,
+                            permanent: true,
+                        });
+                    }
+                    elapsed += at_ns as f64 + self.policy.backoff_base_ns;
+                }
+                // Invalid program/config, wrong data, deadlock, …: not
+                // recoverable by retrying or rerouting.
+                Err(err) => return Err(err),
+            }
+        }
     }
 }
 
@@ -189,5 +337,103 @@ mod tests {
         let mut comm = Communicator::new(Topology::a100(1, 4)).with_chunk_bytes(4 * MB);
         let rep = comm.all_gather(64 * MB).unwrap();
         assert!(rep.sim.n_micro_batches <= 4);
+    }
+
+    #[test]
+    fn healthy_run_reports_no_recovery() {
+        let mut comm = Communicator::new(Topology::a100(2, 4));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.recovery, None);
+        assert_eq!(rep.total_completion_ns(), rep.sim.completion_ns);
+    }
+
+    #[test]
+    fn transient_flap_is_retried_to_success() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let mut comm = Communicator::new(topo)
+            .with_validation()
+            .with_faults(FaultTimeline::new().flap(chan, 50_000.0, 80_000.0, 80_000.0, 1));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.sim.data_valid, Some(true));
+        let rec = rep.recovery.clone().expect("watchdog engaged");
+        assert!(rec.retries >= 1, "flap must force at least one retry");
+        assert_eq!(rec.recompiles, 0, "transient faults never recompile");
+        assert!(rec.dead_resources.is_empty());
+        assert!(rec.recovery_ns > 0.0);
+        assert!(rep.total_completion_ns() > rep.sim.completion_ns);
+        assert!(comm.health().is_empty(), "no permanent masking");
+    }
+
+    #[test]
+    fn permanent_link_death_masks_and_recompiles() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let mut comm = Communicator::new(topo)
+            .with_validation()
+            .with_faults(FaultTimeline::new().kill(chan, 100_000.0));
+        let healthy_fp = {
+            let mut h = Communicator::new(Topology::a100(2, 4)).with_validation();
+            h.all_reduce(64 * MB)
+                .unwrap()
+                .recovery
+                .map(|r| r.plan_fingerprint)
+        };
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.sim.data_valid, Some(true));
+        let rec = rep.recovery.expect("watchdog engaged");
+        assert!(rec.recompiles >= 1, "link death must recompile");
+        assert_eq!(rec.dead_resources, vec![chan.0]);
+        assert!(comm.health().is_dead(chan));
+        // The degraded plan's fingerprint differs from any healthy plan's.
+        assert_ne!(Some(rec.plan_fingerprint), healthy_fp);
+        assert_ne!(rec.plan_fingerprint, 0);
+        // The mask is sticky: a second call reuses the degraded plan
+        // without failing again (the kill at 100µs re-fires, but the dead
+        // channel is no longer on any path).
+        let again = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(again.sim.data_valid, Some(true));
+        assert_eq!(again.recovery.expect("engaged").recompiles, 0);
+    }
+
+    #[test]
+    fn deadline_bounds_each_attempt() {
+        let mut healthy = Communicator::new(Topology::a100(2, 4));
+        let base = healthy.all_reduce(64 * MB).unwrap().sim.completion_ns;
+        // A deadline below the healthy completion can never be met; the
+        // watchdog retries it max_retries times, then gives up.
+        let mut comm = Communicator::new(Topology::a100(2, 4)).with_fault_policy(FaultPolicy {
+            deadline_ns: Some(base * 0.5),
+            max_retries: 2,
+            ..FaultPolicy::default()
+        });
+        let err = comm.all_reduce(64 * MB).unwrap_err();
+        assert!(matches!(err, SimError::DeadlineExceeded { .. }), "{err}");
+        // A generous deadline passes and reports zero retries.
+        let mut comm = Communicator::new(Topology::a100(2, 4)).with_fault_policy(FaultPolicy {
+            deadline_ns: Some(base * 2.0),
+            ..FaultPolicy::default()
+        });
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        let rec = rep.recovery.expect("deadline engages the watchdog");
+        assert_eq!(rec.retries, 0);
+    }
+
+    #[test]
+    fn recovery_replays_byte_identically() {
+        let run = || {
+            let topo = Topology::a100(2, 4);
+            let chan = topo.pair_chan(rescc_topology::Rank::new(1), rescc_topology::Rank::new(2));
+            let mut comm = Communicator::new(topo).with_validation().with_faults(
+                FaultTimeline::new()
+                    .kill(chan, 150_000.0)
+                    .straggler(0, 0.0, 2.0, 400_000.0),
+            );
+            comm.all_reduce(64 * MB).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed/timeline must replay byte-identically");
+        assert!(a.recovery.is_some());
     }
 }

@@ -18,7 +18,7 @@
 
 mod communicator;
 
-pub use communicator::Communicator;
+pub use communicator::{Communicator, FaultPolicy};
 
 use rescc_alloc::TbAllocation;
 use rescc_ir::{DepDag, MicroBatchPlan, TaskId};
@@ -31,8 +31,26 @@ use rescc_topology::Topology;
 /// The paper's default chunk (primitive transfer unit) size: 1 MB.
 pub const DEFAULT_CHUNK_BYTES: u64 = 1 << 20;
 
+/// What the [`Communicator`]'s watchdog/recovery layer did to complete a
+/// collective on a faulty fabric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Attempts replayed after transient faults (backoff in sim time).
+    pub retries: u32,
+    /// Recompiles against a degraded topology after permanent faults.
+    pub recompiles: u32,
+    /// Sim time burned by failed attempts and backoff before the
+    /// successful attempt started, ns.
+    pub recovery_ns: f64,
+    /// The final health mask: raw resource indices masked as dead.
+    pub dead_resources: Vec<u32>,
+    /// Fingerprint of the plan that completed (distinct from the healthy
+    /// plan's whenever the mask is non-empty).
+    pub plan_fingerprint: u64,
+}
+
 /// Result of running one collective call through a backend.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Backend name.
     pub backend: String,
@@ -50,12 +68,22 @@ pub struct RunReport {
     /// through a caching dispatcher ([`Communicator`]); `None` for direct
     /// backend calls, which always compile.
     pub cache: Option<rescc_core::CacheStats>,
+    /// Watchdog/recovery accounting when the call went through the
+    /// [`Communicator`] with faults or a deadline engaged; `None` for
+    /// plain healthy-fabric runs.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl RunReport {
     /// Algorithm bandwidth in GB/s (buffer size / completion time).
     pub fn algbw_gbps(&self) -> f64 {
         self.sim.algo_bandwidth_gbps(self.buffer_bytes)
+    }
+
+    /// End-to-end completion including sim time burned on failed attempts
+    /// and backoff (equals `sim.completion_ns` on a clean run).
+    pub fn total_completion_ns(&self) -> f64 {
+        self.sim.completion_ns + self.recovery.as_ref().map_or(0.0, |r| r.recovery_ns)
     }
 }
 
@@ -116,6 +144,7 @@ fn finish(
         max_rank_tbs: alloc.max_rank_tbs(),
         sim,
         cache: None,
+        recovery: None,
     }
 }
 

@@ -1,0 +1,7 @@
+//! Degraded-topology recovery experiment (not a paper figure): kill an
+//! NVLink channel / a NIC mid-AllReduce and measure the watchdog's
+//! mask-recompile-resume path. Writes `BENCH_recovery.json`.
+
+fn main() {
+    rescc_bench::experiments::recovery::run();
+}

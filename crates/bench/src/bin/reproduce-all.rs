@@ -20,6 +20,7 @@ fn main() {
     ex::figure13::run();
     ex::ablation::run();
     ex::analytic::run();
+    ex::recovery::run();
     println!(
         "\nreproduce-all finished in {:.1}s",
         t0.elapsed().as_secs_f64()

@@ -13,5 +13,6 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod recovery;
 pub mod table1;
 pub mod table3;

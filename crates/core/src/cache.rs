@@ -11,7 +11,9 @@
 //!
 //! * the full algorithm spec (name, operator, ranks, chunks, and every
 //!   transfer tuple),
-//! * the topology (name, cluster shape, and all fabric cost parameters),
+//! * the topology (name, cluster shape, all fabric cost parameters, and
+//!   the health mask — a plan compiled around a dead link must never alias
+//!   the healthy plan),
 //! * the micro-batch plan *shape* (logical chunks, per-invocation chunk
 //!   bytes, invocation count) — buffer sizes that produce the same shape
 //!   share an entry,
@@ -184,6 +186,12 @@ pub fn plan_fingerprint(
     }
     h.f64(f.cross_rack_extra_ns);
     h.u32(f.servers_per_rack);
+    // Health mask: recompiling around a dead resource must produce a
+    // distinct entry.
+    h.u64(topo.health().dead().len() as u64);
+    for r in topo.health().dead() {
+        h.u32(r.0);
+    }
 
     // Micro-batch plan shape (not the raw buffer size: two buffers with
     // the same chunking and invocation count share a plan).
@@ -316,6 +324,29 @@ mod tests {
                 misses: 3,
                 entries: 3
             }
+        );
+    }
+
+    #[test]
+    fn masked_topology_fingerprints_distinctly() {
+        use rescc_topology::{Rank, TopologyHealth};
+        let spec = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, spec.n_chunks());
+        let compiler = Compiler::new();
+        let healthy = Topology::a100(2, 4);
+        let chan = healthy.pair_chan(Rank::new(0), Rank::new(1));
+        let mut mask = TopologyHealth::healthy();
+        mask.mask(chan);
+        let degraded = Topology::a100(2, 4).with_health(mask);
+        assert_ne!(
+            plan_fingerprint(&compiler, &spec, &healthy, &plan),
+            plan_fingerprint(&compiler, &spec, &degraded, &plan)
+        );
+        // An explicit empty mask is the healthy fingerprint.
+        let empty = Topology::a100(2, 4).with_health(TopologyHealth::healthy());
+        assert_eq!(
+            plan_fingerprint(&compiler, &spec, &healthy, &plan),
+            plan_fingerprint(&compiler, &spec, &empty, &plan)
         );
     }
 

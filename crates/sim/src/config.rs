@@ -1,5 +1,7 @@
 //! Simulator configuration, including fault injection.
 
+use crate::error::{SimError, SimResult};
+use crate::fault::FaultTimeline;
 use rescc_topology::ResourceId;
 use serde::{Deserialize, Serialize};
 
@@ -15,13 +17,22 @@ pub struct SimConfig {
     /// TBs occupy SMs until the whole kernel finishes.
     pub early_release: bool,
     /// Fault injection: multiply each transfer's startup latency by
-    /// `1 + jitter_frac · U[0,1)`. Zero disables jitter.
+    /// `1 + jitter_frac · U[0,1)`. Zero disables jitter. Must lie in
+    /// `[0, 1]` (checked at run time).
     pub jitter_frac: f64,
     /// RNG seed for jitter (runs are deterministic for a given seed).
     pub seed: u64,
     /// Fault injection: per-resource capacity multipliers in `(0, 1]`
-    /// (e.g. a flapping NIC at 0.5 of nominal bandwidth).
+    /// (e.g. a flapping NIC at 0.5 of nominal bandwidth), applied for the
+    /// whole run. Checked at run time.
     pub degraded: Vec<(ResourceId, f64)>,
+    /// Fault injection: scheduled mid-run transitions (death, flapping,
+    /// brownouts, stragglers). Empty by default.
+    pub faults: FaultTimeline,
+    /// Watchdog: abort with
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded)
+    /// if the collective has not completed by this sim time (ns).
+    pub deadline_ns: Option<f64>,
     /// Safety cap on executed invocations (guards against runaway
     /// programs; generously above any legitimate run).
     pub max_invocations: u64,
@@ -38,6 +49,8 @@ impl Default for SimConfig {
             jitter_frac: 0.0,
             seed: 0,
             degraded: Vec::new(),
+            faults: FaultTimeline::new(),
+            deadline_ns: None,
             max_invocations: 200_000_000,
             record_trace: false,
         }
@@ -68,10 +81,24 @@ impl SimConfig {
         self
     }
 
-    /// Degrade a resource's capacity.
+    /// Degrade a resource's capacity for the whole run. The factor must
+    /// lie in `(0, 1]`; violations surface as
+    /// [`SimError::InvalidConfig`](crate::SimError::InvalidConfig) when
+    /// the run starts.
     pub fn with_degraded(mut self, res: ResourceId, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
         self.degraded.push((res, factor));
+        self
+    }
+
+    /// Install a mid-run fault schedule.
+    pub fn with_faults(mut self, faults: FaultTimeline) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the watchdog deadline (sim time, ns).
+    pub fn with_deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
         self
     }
 
@@ -79,5 +106,93 @@ impl SimConfig {
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Check the configuration against the cluster dimensions. Called by
+    /// the engine before any event is processed, so invalid inputs surface
+    /// as a typed error at `run_with` time instead of silently producing
+    /// nonsense timings.
+    pub fn validate(&self, n_resources: u32, n_ranks: u32) -> SimResult<()> {
+        if !(self.jitter_frac.is_finite() && (0.0..=1.0).contains(&self.jitter_frac)) {
+            return Err(SimError::InvalidConfig(format!(
+                "jitter fraction {} outside [0, 1]",
+                self.jitter_frac
+            )));
+        }
+        for (res, factor) in &self.degraded {
+            if res.0 >= n_resources {
+                return Err(SimError::InvalidConfig(format!(
+                    "degraded resource {res} out of range (topology has {n_resources})"
+                )));
+            }
+            if !(factor.is_finite() && *factor > 0.0 && *factor <= 1.0) {
+                return Err(SimError::InvalidConfig(format!(
+                    "degradation factor {factor} for {res} outside (0, 1]"
+                )));
+            }
+        }
+        if let Some(d) = self.deadline_ns {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(SimError::InvalidConfig(format!(
+                    "deadline {d}ns is not a positive time"
+                )));
+            }
+        }
+        self.faults
+            .validate(n_resources, n_ranks)
+            .map_err(SimError::InvalidConfig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(SimConfig::default().validate(8, 4).is_ok());
+    }
+
+    #[test]
+    fn jitter_outside_unit_interval_is_rejected() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::default()
+                .with_jitter(bad, 0)
+                .validate(8, 4)
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{bad}: {err}");
+        }
+        assert!(SimConfig::default()
+            .with_jitter(1.0, 0)
+            .validate(8, 4)
+            .is_ok());
+    }
+
+    #[test]
+    fn degraded_factor_outside_unit_interval_is_rejected() {
+        for bad in [0.0, -1.0, 1.01, f64::NAN] {
+            let err = SimConfig::default()
+                .with_degraded(ResourceId::new(0), bad)
+                .validate(8, 4)
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{bad}: {err}");
+        }
+        let oor = SimConfig::default()
+            .with_degraded(ResourceId::new(9), 0.5)
+            .validate(8, 4)
+            .unwrap_err();
+        assert!(matches!(oor, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn deadline_must_be_positive() {
+        assert!(SimConfig::default()
+            .with_deadline_ns(-5.0)
+            .validate(8, 4)
+            .is_err());
+        assert!(SimConfig::default()
+            .with_deadline_ns(1e9)
+            .validate(8, 4)
+            .is_ok());
     }
 }

@@ -23,15 +23,16 @@
 
 use crate::config::SimConfig;
 use crate::error::{SimError, SimResult};
+use crate::fault::{Fault, FaultEvent};
 use crate::metrics::{ResourceStat, SimReport, TbStat};
-use crate::trace::TraceEvent;
+use crate::trace::{FaultRecord, TraceEvent};
 use crate::value::{expected_final, initial_value, ChunkValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rescc_ir::{DepDag, MicroBatchPlan, TaskId};
 use rescc_kernel::{KernelProgram, LoopOrder};
 use rescc_lang::{CommType, OpType};
-use rescc_topology::{LinkParams, Topology};
+use rescc_topology::{LinkParams, ResourceId, Topology};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -53,6 +54,10 @@ const NONE: u32 = u32::MAX;
 enum EvKind {
     LatencyDone(u32),
     DrainDone(u32, u64),
+    /// A scheduled fault transition (index into the sorted schedule).
+    Fault(u32),
+    /// The watchdog deadline.
+    Deadline,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +158,10 @@ struct ResState {
     active_ns: f64,
     bytes: u64,
     draining: Vec<u32>,
+    /// Fault state: carrying traffic at all?
+    up: bool,
+    /// Fault state: brownout bandwidth multiplier (1.0 = nominal).
+    factor: f64,
 }
 
 struct Engine<'a> {
@@ -189,6 +198,14 @@ struct Engine<'a> {
     fused_pred: Vec<u32>,
     /// For a receive A: the fused forwards gated on it.
     fused_next: Vec<Vec<TaskId>>,
+    /// Fault schedule, stably sorted by timestamp.
+    fault_sched: Vec<FaultEvent>,
+    /// Transitions applied so far (reported for post-mortems).
+    fault_log: Vec<FaultRecord>,
+    /// Per-rank issue-latency multiplier (straggler state).
+    straggle: Vec<f64>,
+    /// A fault the run cannot survive; the event loop aborts on it.
+    fatal: Option<SimError>,
 }
 
 impl<'a> Engine<'a> {
@@ -203,12 +220,13 @@ impl<'a> Engine<'a> {
         program
             .validate(dag)
             .map_err(|e| SimError::new(format!("invalid kernel program: {e}")))?;
+        config.validate(topo.n_resources(), topo.n_ranks())?;
         let n_mb = plan.n_micro_batches;
         let n_ranks = topo.n_ranks();
         let n_tasks = dag.len();
         let inv_total = n_tasks as u64 * n_mb as u64;
         if inv_total > config.max_invocations {
-            return Err(SimError::new(format!(
+            return Err(SimError::InvalidConfig(format!(
                 "run would execute {inv_total} invocations, above the safety cap {}",
                 config.max_invocations
             )));
@@ -217,12 +235,14 @@ impl<'a> Engine<'a> {
         // Resources with degradation applied.
         let mut resources: Vec<ResState> = (0..topo.n_resources())
             .map(|r| ResState {
-                params: topo.resource_params(rescc_topology::ResourceId::new(r)),
+                params: topo.resource_params(ResourceId::new(r)),
                 load: 0,
                 active_since: 0.0,
                 active_ns: 0.0,
                 bytes: 0,
                 draining: Vec::new(),
+                up: true,
+                factor: 1.0,
             })
             .collect();
         for (res, factor) in &config.degraded {
@@ -418,6 +438,10 @@ impl<'a> Engine<'a> {
             fused_task,
             fused_pred,
             fused_next,
+            fault_sched: Vec::new(),
+            fault_log: Vec::new(),
+            straggle: vec![1.0; n_ranks as usize],
+            fatal: None,
         })
     }
 
@@ -433,9 +457,33 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> SimResult<SimReport> {
+        // Fault schedule: stable-sort by timestamp. Transitions at or
+        // before t = 0 — already in the past, e.g. after a retry shifted
+        // the timeline with [`FaultTimeline::advanced`] — apply before
+        // launch; the rest enter the event heap. Fault events are pushed
+        // before any transfer event, so at equal timestamps they fire
+        // first (stable `seq` tie-break) — replay is deterministic.
+        let mut sched = self.config.faults.events().to_vec();
+        sched.sort_by(|a, b| a.at_ns.total_cmp(&b.at_ns));
+        self.fault_sched = sched;
+        for i in 0..self.fault_sched.len() as u32 {
+            let at = self.fault_sched[i as usize].at_ns;
+            if at <= 0.0 {
+                self.apply_fault(i);
+            } else {
+                self.push_event(at, EvKind::Fault(i));
+            }
+        }
+        if let Some(d) = self.config.deadline_ns {
+            self.push_event(d, EvKind::Deadline);
+        }
+
         // Kernel launch: every TB arrives at its first invocation at t = 0.
         for tb_id in 0..self.tbs.len() as u32 {
             self.tb_arrive(tb_id);
+        }
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
         }
 
         while let Some(ev) = self.heap.pop() {
@@ -448,6 +496,19 @@ impl<'a> Engine<'a> {
                         self.on_drain_done(x);
                     }
                 }
+                EvKind::Fault(i) => self.apply_fault(i),
+                EvKind::Deadline => {
+                    if self.inv_done < self.inv_total {
+                        self.fatal.get_or_insert(SimError::DeadlineExceeded {
+                            deadline_ns: self.config.deadline_ns.unwrap_or(self.now).round() as u64,
+                            completed: self.inv_done,
+                            total: self.inv_total,
+                        });
+                    }
+                }
+            }
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
             }
         }
 
@@ -502,7 +563,71 @@ impl<'a> Engine<'a> {
             n_micro_batches: self.n_mb,
             n_invocations: self.inv_done,
             trace: self.trace,
+            faults: self.fault_log,
         })
+    }
+
+    /// Apply one scheduled fault transition to the live resource/rank
+    /// state. A link death with transfers draining on the resource is
+    /// fatal: the typed error names the first victim so the watchdog can
+    /// decide between retry and recompile.
+    fn apply_fault(&mut self, i: u32) {
+        let FaultEvent { at_ns, fault } = self.fault_sched[i as usize];
+        self.fault_log.push(FaultRecord { at_ns, fault });
+        match fault {
+            Fault::LinkDown(r) => {
+                let rs = &mut self.resources[r.index()];
+                rs.up = false;
+                if let Some(&x) = rs.draining.first() {
+                    let task = self.transfers[x as usize].task;
+                    self.fatal.get_or_insert(SimError::ResourceDown {
+                        resource: r.0,
+                        task: task.0,
+                        at_ns: self.now.max(0.0).round() as u64,
+                        permanent: self.config.faults.is_permanent_down(r),
+                    });
+                }
+            }
+            Fault::LinkUp(r) => self.resources[r.index()].up = true,
+            Fault::Brownout(r, f) => {
+                self.resources[r.index()].factor = f;
+                self.reproject_resource(r);
+            }
+            Fault::BrownoutEnd(r) => {
+                self.resources[r.index()].factor = 1.0;
+                self.reproject_resource(r);
+            }
+            Fault::Straggler(rank, m) => self.straggle[rank as usize] = m,
+        }
+    }
+
+    /// Re-project every transfer draining on `r` after its capacity
+    /// changed (brownout start/end).
+    fn reproject_resource(&mut self, r: ResourceId) {
+        let draining = self.resources[r.index()].draining.clone();
+        for x in draining {
+            self.reproject(x);
+        }
+    }
+
+    /// The first dead resource on a task's path, if any.
+    fn dead_on_path(&self, task: TaskId) -> Option<ResourceId> {
+        self.dag
+            .task(task)
+            .path
+            .iter()
+            .find(|r| !self.resources[r.index()].up)
+    }
+
+    /// Record a typed [`SimError::ResourceDown`] for `task` hitting dead
+    /// resource `r`; the event loop aborts at the next check.
+    fn fail_on_dead(&mut self, task: TaskId, r: ResourceId) {
+        self.fatal.get_or_insert(SimError::ResourceDown {
+            resource: r.0,
+            task: task.0,
+            at_ns: self.now.max(0.0).round() as u64,
+            permanent: self.config.faults.is_permanent_down(r),
+        });
     }
 
     /// The TB (re-)arrives at its current issue group: every invocation of
@@ -558,6 +683,9 @@ impl<'a> Engine<'a> {
     }
 
     fn try_start(&mut self, task: TaskId, mb: u32) {
+        if self.fatal.is_some() {
+            return; // aborting — don't issue new transfers
+        }
         let idx = task.index() * self.n_mb as usize + mb as usize;
         let inv = self.invs[idx];
         if inv.started
@@ -576,6 +704,12 @@ impl<'a> Engine<'a> {
             if !self.invs[fidx].started {
                 return;
             }
+        }
+        // A transfer cannot cross a dead resource: surface the typed
+        // failure so the Communicator's watchdog can retry or recompile.
+        if let Some(r) = self.dead_on_path(task) {
+            self.fail_on_dead(task, r);
+            return;
         }
         self.invs[idx].started = true;
         let now = self.now;
@@ -609,7 +743,7 @@ impl<'a> Engine<'a> {
                 .map(|r| self.resources[r.index()].params.alpha_ns)
                 .fold(0.0, f64::max)
         };
-        let mut latency = alpha + self.program.exec.overhead_ns();
+        let mut latency = (alpha + self.program.exec.overhead_ns()) * self.straggle[t.src.index()];
         if self.config.jitter_frac > 0.0 {
             latency *= 1.0 + self.config.jitter_frac * self.rng.gen::<f64>();
         }
@@ -648,6 +782,12 @@ impl<'a> Engine<'a> {
     fn on_latency_done(&mut self, x: u32) {
         let now = self.now;
         let task = self.transfers[x as usize].task;
+        // The resource may have died during the startup latency: fail the
+        // transfer before it registers on the path.
+        if let Some(r) = self.dead_on_path(task) {
+            self.fail_on_dead(task, r);
+            return;
+        }
         let path = self.dag.task(task).path;
         self.transfers[x as usize].draining = true;
         self.transfers[x as usize].last_update = now;
@@ -684,7 +824,8 @@ impl<'a> Engine<'a> {
         let mut rate = f64::INFINITY;
         for r in path.iter() {
             let rs = &self.resources[r.index()];
-            let share = rs.params.effective_bandwidth(rs.load) / rs.load as f64;
+            // Brownout factor scales the momentary capacity.
+            let share = rs.params.effective_bandwidth(rs.load) * rs.factor / rs.load as f64;
             rate = rate.min(share);
         }
         debug_assert!(rate.is_finite() && rate > 0.0);
@@ -878,7 +1019,7 @@ impl<'a> Engine<'a> {
                     if let Some(expect) = expected_final(self.op, self.n_ranks, rank, chunk) {
                         let got = &self.buffers[mb as usize][self.buffer_idx(rank, chunk)];
                         if *got != expect {
-                            return Err(SimError::new(format!(
+                            return Err(SimError::Validation(format!(
                                 "collective produced wrong data: micro-batch {mb}, rank r{rank}, \
                                  chunk c{chunk}: counts {:?}, expected {:?}",
                                 got.counts(),
@@ -949,7 +1090,7 @@ impl<'a> Engine<'a> {
                 slots.join(", ")
             ));
         }
-        SimError::new(format!(
+        SimError::Deadlock(format!(
             "deadlock: {}/{} invocations completed; {detail}{heads}",
             self.inv_done, self.inv_total
         ))

@@ -1,24 +1,101 @@
 //! Simulator error type.
+//!
+//! [`SimError`] is an enum so callers (notably the Communicator's
+//! watchdog/retry layer) can branch on *kind* — a transient fault is worth
+//! retrying, a permanent one needs a recompile against a masked topology,
+//! and an invalid program or config is fatal no matter how often it is
+//! retried. The `Display` prefix (`"simulation error: "`) is stable across
+//! every variant.
 
 use std::fmt;
 
-/// Error produced during simulation (invalid program, deadlock, data
-/// corruption, safety-cap violation).
+/// Error produced during simulation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SimError {
-    msg: String,
+pub enum SimError {
+    /// The kernel program is malformed or inconsistent with its DAG (also
+    /// wraps compile-pipeline failures surfaced through the sim result).
+    InvalidProgram(String),
+    /// Execution wedged: the event heap drained with invocations pending.
+    Deadlock(String),
+    /// The collective finished but produced wrong data.
+    Validation(String),
+    /// A transfer needed a resource a fault had taken down.
+    ResourceDown {
+        /// The dead resource's index.
+        resource: u32,
+        /// The task whose transfer hit the dead resource.
+        task: u32,
+        /// Sim time of the failure, ns (rounded to the nanosecond).
+        at_ns: u64,
+        /// `true` when the timeline never brings the resource back: the
+        /// caller must mask it and recompile rather than retry.
+        permanent: bool,
+    },
+    /// The watchdog deadline elapsed before the collective completed.
+    DeadlineExceeded {
+        /// The configured deadline, ns.
+        deadline_ns: u64,
+        /// Invocations completed when the deadline fired.
+        completed: u64,
+        /// Invocations the run needed.
+        total: u64,
+    },
+    /// The [`SimConfig`](crate::SimConfig) itself is invalid (jitter
+    /// fraction outside `[0, 1]`, degradation factor outside `(0, 1]`,
+    /// fault event out of range, …).
+    InvalidConfig(String),
 }
 
 impl SimError {
-    /// Create an error with a message.
+    /// Create an [`SimError::InvalidProgram`] error with a message (the
+    /// historical constructor; pipeline wrappers funnel through it).
     pub fn new(msg: impl Into<String>) -> Self {
-        Self { msg: msg.into() }
+        Self::InvalidProgram(msg.into())
+    }
+
+    /// Is this failure worth retrying as-is (exponential backoff), rather
+    /// than recompiling or giving up? Transient faults are a resource that
+    /// is down now but scheduled to come back, and an expired watchdog
+    /// deadline.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::ResourceDown {
+                permanent: false,
+                ..
+            } | Self::DeadlineExceeded { .. }
+        )
     }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation error: {}", self.msg)
+        write!(f, "simulation error: ")?;
+        match self {
+            Self::InvalidProgram(msg) | Self::Deadlock(msg) | Self::Validation(msg) => {
+                write!(f, "{msg}")
+            }
+            Self::ResourceDown {
+                resource,
+                task,
+                at_ns,
+                permanent,
+            } => write!(
+                f,
+                "resource {resource} went down at {at_ns}ns under task {task} ({})",
+                if *permanent { "permanent" } else { "transient" }
+            ),
+            Self::DeadlineExceeded {
+                deadline_ns,
+                completed,
+                total,
+            } => write!(
+                f,
+                "deadline of {deadline_ns}ns exceeded with {completed}/{total} \
+                 invocations complete"
+            ),
+            Self::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
     }
 }
 
@@ -26,3 +103,58 @@ impl std::error::Error for SimError {}
 
 /// Convenience alias.
 pub type SimResult<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefix_is_stable_across_variants() {
+        let errors = [
+            SimError::new("bad program"),
+            SimError::Deadlock("deadlock: 0/4".into()),
+            SimError::Validation("collective produced wrong data".into()),
+            SimError::ResourceDown {
+                resource: 3,
+                task: 7,
+                at_ns: 1000,
+                permanent: true,
+            },
+            SimError::DeadlineExceeded {
+                deadline_ns: 500,
+                completed: 1,
+                total: 8,
+            },
+            SimError::InvalidConfig("jitter 2".into()),
+        ];
+        for e in &errors {
+            assert!(e.to_string().starts_with("simulation error: "), "{e}");
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(SimError::ResourceDown {
+            resource: 0,
+            task: 0,
+            at_ns: 0,
+            permanent: false
+        }
+        .is_transient());
+        assert!(SimError::DeadlineExceeded {
+            deadline_ns: 1,
+            completed: 0,
+            total: 1
+        }
+        .is_transient());
+        assert!(!SimError::ResourceDown {
+            resource: 0,
+            task: 0,
+            at_ns: 0,
+            permanent: true
+        }
+        .is_transient());
+        assert!(!SimError::new("nope").is_transient());
+        assert!(!SimError::InvalidConfig("nope".into()).is_transient());
+    }
+}

@@ -43,6 +43,7 @@
 mod config;
 mod engine;
 mod error;
+mod fault;
 mod metrics;
 mod trace;
 mod value;
@@ -50,8 +51,9 @@ mod value;
 pub use config::SimConfig;
 pub use engine::simulate;
 pub use error::{SimError, SimResult};
+pub use fault::{Fault, FaultEvent, FaultTimeline};
 pub use metrics::{ResourceStat, SimReport, TbStat};
-pub use trace::{render_gantt, BottleneckReport, TraceEvent};
+pub use trace::{render_gantt, BottleneckReport, FaultRecord, TraceEvent};
 pub use value::{expected_final, initial_value, ChunkValue};
 
 #[cfg(test)]
@@ -434,6 +436,170 @@ mod tests {
             assert!(e.start_ns <= e.drain_start_ns && e.drain_start_ns <= e.end_ns);
             assert!(e.bytes > 0);
         }
+    }
+
+    #[test]
+    fn link_death_mid_run_fails_with_typed_error() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let base = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+        let at = base.completion_ns * 0.4;
+        let cfg = SimConfig::default().with_faults(FaultTimeline::new().kill(chan, at));
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        match err {
+            SimError::ResourceDown {
+                resource,
+                at_ns,
+                permanent,
+                ..
+            } => {
+                assert_eq!(resource, chan.0);
+                assert!(permanent, "kill() with no recovery is permanent");
+                assert!(
+                    (at_ns as f64 - at).abs() <= at * 0.5 + 1.0,
+                    "failed at {at_ns}"
+                );
+            }
+            other => panic!("expected ResourceDown, got {other}"),
+        }
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn flapping_link_is_transient() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+        // Down for a window in the middle of the run, then back up.
+        let cfg = SimConfig::default()
+            .with_faults(FaultTimeline::new().flap(chan, 50_000.0, 100_000.0, 100_000.0, 1));
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // A retry after the flap window (timeline shifted into the past)
+        // sees the recovered link and completes correctly.
+        let retry_cfg = SimConfig::default().with_faults(
+            FaultTimeline::new()
+                .flap(chan, 50_000.0, 100_000.0, 100_000.0, 1)
+                .advanced(300_000.0),
+        );
+        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &retry_cfg).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn brownout_slows_but_completes() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let cfg = SimConfig::default();
+        let base = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap();
+        let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+        let brown = cfg.clone().with_faults(FaultTimeline::new().brownout(
+            chan,
+            0.0,
+            0.1,
+            base.completion_ns * 2.0,
+        ));
+        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &brown).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+        assert!(
+            rep.completion_ns > base.completion_ns * 1.2,
+            "brownout {} vs healthy {}",
+            rep.completion_ns,
+            base.completion_ns
+        );
+        assert!(!rep.faults.is_empty(), "transitions must be reported");
+    }
+
+    #[test]
+    fn straggler_rank_slows_issue() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        // Many small micro-batches so issue latency matters.
+        let plan = MicroBatchPlan::plan(4 << 20, 4, 64 << 10);
+        let cfg = SimConfig::default();
+        let base = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap();
+        let slow = cfg.clone().with_faults(FaultTimeline::new().straggler(
+            2,
+            0.0,
+            20.0,
+            base.completion_ns * 2.0,
+        ));
+        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &slow).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+        assert!(rep.completion_ns > base.completion_ns);
+    }
+
+    #[test]
+    fn deadline_fires_when_too_tight() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let base = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let tight = SimConfig::default().with_deadline_ns(base.completion_ns * 0.5);
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &tight).unwrap_err();
+        assert!(
+            matches!(err, SimError::DeadlineExceeded { completed, total, .. }
+                if completed < total),
+            "{err}"
+        );
+        // A generous deadline never fires.
+        let loose = SimConfig::default().with_deadline_ns(base.completion_ns * 2.0);
+        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &loose).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_run_time() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(4 << 20, 4, 1 << 20);
+        let cfg = SimConfig::default().with_jitter(3.0, 0);
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        let cfg = SimConfig::default().with_degraded(rescc_topology::ResourceId::new(0), 2.0);
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn fault_runs_replay_deterministically() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let chan = topo.pair_chan(Rank::new(1), Rank::new(2));
+        let cfg = SimConfig::default()
+            .with_jitter(0.2, 7)
+            .with_faults(FaultTimeline::new().brownout(chan, 10_000.0, 0.5, 500_000.0));
+        let a = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap();
+        let b = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

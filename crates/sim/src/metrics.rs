@@ -100,6 +100,8 @@ pub struct SimReport {
     /// Per-transfer timeline (populated when
     /// [`SimConfig::record_trace`](crate::SimConfig) is set).
     pub trace: Vec<crate::TraceEvent>,
+    /// Fault transitions applied during the run, in application order.
+    pub faults: Vec<crate::FaultRecord>,
 }
 
 impl SimReport {
@@ -234,6 +236,7 @@ mod tests {
             n_micro_batches: 1,
             n_invocations: 2,
             trace: Vec::new(),
+            faults: Vec::new(),
         };
         assert!((rep.avg_idle_ratio() - 0.5).abs() < 1e-12);
         assert!((rep.max_idle_ratio() - 0.9).abs() < 1e-12);

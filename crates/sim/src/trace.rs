@@ -8,8 +8,22 @@
 //! (useful in examples and when debugging schedules); [`BottleneckReport`]
 //! identifies the resources that bound the run.
 
+use crate::fault::Fault;
 use crate::metrics::SimReport;
 use serde::{Deserialize, Serialize};
+
+/// A fault transition the engine applied during the run, kept in the
+/// report so post-mortems can line failures up against the transfer
+/// timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Sim time at which the transition was applied, ns. Negative for
+    /// transitions that predate a retried run's start (the timeline was
+    /// shifted by [`FaultTimeline::advanced`](crate::FaultTimeline)).
+    pub at_ns: f64,
+    /// The transition.
+    pub fault: Fault,
+}
 
 /// One transfer invocation's lifecycle on the timeline.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

@@ -21,6 +21,7 @@
 //! communication-dependency checks, `path` feeds the simulator's fluid
 //! bandwidth sharing.
 
+use crate::health::TopologyHealth;
 use crate::ids::{ConnectionId, NicId, NodeId, Rank, ResourceId};
 use crate::params::{FabricParams, LinkParams};
 use crate::resset::ResourceSet;
@@ -144,6 +145,9 @@ pub struct Topology {
     fabric: FabricParams,
     /// Human-readable name ("a100-2x8", …) used in reports.
     name: String,
+    /// Dead resources to route around (degraded-topology recovery).
+    #[serde(default)]
+    health: TopologyHealth,
 }
 
 impl Topology {
@@ -165,7 +169,21 @@ impl Topology {
             spec,
             fabric,
             name: name.into(),
+            health: TopologyHealth::healthy(),
         }
+    }
+
+    /// Overlay a health mask: [`Self::connection`] routes around the
+    /// masked resources (relay through a healthy local peer for NVLink
+    /// channels, failover to a sibling NIC for network paths).
+    pub fn with_health(mut self, health: TopologyHealth) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The current health mask.
+    pub fn health(&self) -> &TopologyHealth {
+        &self.health
     }
 
     /// The paper's A100 testbed shape: `n_nodes` servers of `gpus_per_node`
@@ -414,6 +432,34 @@ impl Topology {
         assert!(src.0 < self.n_ranks() && dst.0 < self.n_ranks());
         if self.same_node(src, dst) {
             let chan = self.pair_chan(src, dst);
+            if self.health.is_dead(chan) {
+                if let Some(relay) = self.relay_for(src, dst) {
+                    // NVSwitch-style reroute: bounce through a healthy
+                    // local peer. Two pair channels carry (and contend
+                    // for) the transfer, and the extra hop pays another
+                    // switch traversal of latency.
+                    let c1 = self.pair_chan(src, relay);
+                    let c2 = self.pair_chan(relay, dst);
+                    return Connection {
+                        id: self.connection_id(src, dst),
+                        src,
+                        dst,
+                        kind: PathKind::Intra,
+                        conflict: ResourceSet::from_slice(&[c1, c2]),
+                        path: ResourceSet::from_slice(&[
+                            c1,
+                            c2,
+                            self.gpu_tx(src),
+                            self.gpu_rx(dst),
+                        ]),
+                        params: self.fabric.intra,
+                        extra_latency_ns: self.fabric.intra.alpha_ns,
+                    };
+                }
+                // No healthy relay: fall through to the dead direct
+                // channel — the simulator fails the first transfer on it
+                // with a permanent `ResourceDown`.
+            }
             Connection {
                 id: self.connection_id(src, dst),
                 src,
@@ -426,8 +472,8 @@ impl Topology {
             }
         } else {
             let cross = self.is_cross_rack(src, dst);
-            let tx = self.nic_tx(self.nic_of(src));
-            let rx = self.nic_rx(self.nic_of(dst));
+            let tx = self.healthy_nic_tx(src);
+            let rx = self.healthy_nic_rx(dst);
             Connection {
                 id: self.connection_id(src, dst),
                 src,
@@ -443,6 +489,44 @@ impl Topology {
                 },
             }
         }
+    }
+
+    /// A local rank whose channels from `src` and to `dst` are both
+    /// healthy, to relay around a dead direct channel. Deterministic:
+    /// the lowest-index candidate wins.
+    fn relay_for(&self, src: Rank, dst: Rank) -> Option<Rank> {
+        self.ranks_on_node(self.node_of(src)).find(|&c| {
+            c != src
+                && c != dst
+                && self.health.is_healthy(self.pair_chan(src, c))
+                && self.health.is_healthy(self.pair_chan(c, dst))
+        })
+    }
+
+    /// The TX direction `src` uses for inter-node traffic: its primary
+    /// NIC, or — when that direction is masked — the first healthy
+    /// sibling NIC on the node (NIC failover). Falls back to the dead
+    /// primary when every sibling is masked too, so the simulator
+    /// surfaces the unrecoverable failure.
+    fn healthy_nic_tx(&self, src: Rank) -> ResourceId {
+        let primary = self.nic_of(src);
+        self.failover_nic(primary, |nic| self.nic_tx(nic))
+    }
+
+    /// The RX direction `dst` uses for inter-node traffic (see
+    /// [`Self::healthy_nic_tx`]).
+    fn healthy_nic_rx(&self, dst: Rank) -> ResourceId {
+        let primary = self.nic_of(dst);
+        self.failover_nic(primary, |nic| self.nic_rx(nic))
+    }
+
+    fn failover_nic(&self, primary: NicId, dir: impl Fn(NicId) -> ResourceId) -> ResourceId {
+        let nics = self.spec.nics_per_node;
+        let base = (primary.0 / nics) * nics;
+        (0..nics)
+            .map(|k| dir(NicId::new(base + (primary.0 - base + k) % nics)))
+            .find(|&r| self.health.is_healthy(r))
+            .unwrap_or_else(|| dir(primary))
     }
 
     /// Do the two ordered pairs have a *communication dependency* (shared
@@ -661,6 +745,73 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dead_pair_channel_routes_through_relay() {
+        let t = topo2();
+        let (a, b) = (Rank::new(0), Rank::new(1));
+        let chan = t.pair_chan(a, b);
+        let mut health = crate::TopologyHealth::healthy();
+        health.mask(chan);
+        let t = t.with_health(health);
+        let c = t.connection(a, b);
+        assert_eq!(c.kind, PathKind::Intra);
+        assert!(!c.path.contains(chan), "must not use the dead channel");
+        assert_eq!(c.conflict.len(), 2, "relay spans two pair channels");
+        // Lowest-index healthy relay is rank 2.
+        assert!(c.conflict.contains(t.pair_chan(a, Rank::new(2))));
+        assert!(c.conflict.contains(t.pair_chan(Rank::new(2), b)));
+        assert!(c.extra_latency_ns > 0.0, "relay pays an extra hop");
+        // The reverse direction is unaffected.
+        let rev = t.connection(b, a);
+        assert_eq!(rev.conflict.len(), 1);
+    }
+
+    #[test]
+    fn dead_nic_fails_over_to_sibling() {
+        let t = topo2();
+        let (src, dst) = (Rank::new(0), Rank::new(8));
+        let primary_tx = t.nic_tx(t.nic_of(src));
+        let mut health = crate::TopologyHealth::healthy();
+        health.mask(primary_tx);
+        let t = t.with_health(health);
+        let c = t.connection(src, dst);
+        assert!(!c.conflict.contains(primary_tx));
+        // Failover lands on the next NIC of node 0 (nic1 tx).
+        assert!(c.conflict.contains(t.nic_tx(NicId::new(1))));
+        // RX side untouched.
+        assert!(c.conflict.contains(t.nic_rx(t.nic_of(dst))));
+    }
+
+    #[test]
+    fn all_masked_falls_back_to_dead_primary() {
+        // 2 GPUs per node, 1 NIC per node: no sibling to fail over to, and
+        // no third rank to relay through — the dead resource stays on the
+        // path so the simulator can surface the unrecoverable failure.
+        let t = Topology::a100(2, 2);
+        let chan = t.pair_chan(Rank::new(0), Rank::new(1));
+        let nic_tx = t.nic_tx(t.nic_of(Rank::new(0)));
+        let mut health = crate::TopologyHealth::healthy();
+        health.mask(chan);
+        health.mask(nic_tx);
+        let t = t.with_health(health);
+        assert!(t.connection(Rank::new(0), Rank::new(1)).path.contains(chan));
+        assert!(t
+            .connection(Rank::new(0), Rank::new(2))
+            .conflict
+            .contains(nic_tx));
+    }
+
+    #[test]
+    fn healthy_topology_unchanged_by_empty_mask() {
+        let plain = topo2();
+        let masked = topo2().with_health(crate::TopologyHealth::healthy());
+        for (s, d) in [(0u32, 1u32), (0, 8), (3, 12)] {
+            let a = plain.connection(Rank::new(s), Rank::new(d));
+            let b = masked.connection(Rank::new(s), Rank::new(d));
+            assert_eq!(a, b);
         }
     }
 

@@ -22,11 +22,13 @@
 
 mod analysis;
 mod cluster;
+mod health;
 mod ids;
 mod params;
 mod resset;
 
 pub use cluster::{ClusterSpec, Connection, PathKind, ResourceKind, Topology, TopologyError};
+pub use health::TopologyHealth;
 pub use ids::{ChunkId, ConnectionId, NicId, NodeId, Rank, ResourceId, Step};
 pub use params::{gbps_to_bytes_per_ns, FabricParams, LinkParams, Nanos};
 pub use resset::{ResourceSet, MAX_PATH_RESOURCES};

@@ -61,6 +61,7 @@ fn resccl_cached_run(
         max_rank_tbs: plan.alloc.max_rank_tbs(),
         sim,
         cache: Some(cache.stats()),
+        recovery: None,
     })
 }
 

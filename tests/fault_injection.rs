@@ -1,10 +1,14 @@
 //! Fault-injection integration tests: the pipeline must stay *correct*
-//! under adverse conditions (latency jitter, degraded links) and the
-//! timing must respond the way a real cluster would.
+//! under adverse conditions (latency jitter, degraded links, mid-run
+//! resource death) and the timing must respond the way a real cluster
+//! would. The property tests at the bottom drive the full watchdog
+//! (retry + mask + recompile) path with seeded random fault timelines.
 
+use proptest::prelude::*;
 use rescc::algos::{hm_allgather, hm_allreduce};
+use rescc::backends::Communicator;
 use rescc::core::Compiler;
-use rescc::sim::SimConfig;
+use rescc::sim::{FaultTimeline, SimConfig, SimError};
 use rescc::topology::{Rank, Topology};
 
 const MB: u64 = 1 << 20;
@@ -97,4 +101,87 @@ fn combined_faults() {
         .with_degraded(nic, 0.5);
     let rep = plan.run_with(32 * MB, MB, &cfg).unwrap();
     assert_eq!(rep.data_valid, Some(true));
+}
+
+#[test]
+fn mid_run_link_death_is_a_typed_error_without_a_watchdog() {
+    let topo = Topology::a100(2, 4);
+    let plan = Compiler::new()
+        .compile_spec(&hm_allreduce(2, 4), &topo)
+        .unwrap();
+    let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+    let cfg = SimConfig::default()
+        .without_validation()
+        .with_faults(FaultTimeline::new().kill(chan, 100_000.0));
+    let err = plan.run_with(128 * MB, MB, &cfg).unwrap_err();
+    match err {
+        SimError::ResourceDown {
+            resource,
+            permanent,
+            at_ns,
+            ..
+        } => {
+            assert_eq!(resource, chan.index() as u32);
+            assert!(permanent);
+            assert_eq!(at_ns, 100_000);
+        }
+        other => panic!("expected ResourceDown, got {other}"),
+    }
+}
+
+#[test]
+fn communicator_survives_permanent_link_death() {
+    let topo = Topology::a100(2, 4);
+    let chan = topo.pair_chan(Rank::new(2), Rank::new(3));
+    let mut comm = Communicator::new(topo)
+        .with_validation()
+        .with_faults(FaultTimeline::new().kill(chan, 200_000.0));
+    let rep = comm.all_reduce(128 * MB).unwrap();
+    assert_eq!(rep.sim.data_valid, Some(true));
+    let rec = rep.recovery.expect("fault run engages the watchdog");
+    assert!(rec.recompiles >= 1);
+    assert_eq!(rec.dead_resources, vec![chan.index() as u32]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded *recovering* timeline (flaps, brownouts, stragglers —
+    /// no permanent damage) must leave the collective correct once the
+    /// watchdog has retried its way through.
+    #[test]
+    fn recovering_timelines_stay_correct(seed in 0u64..64) {
+        let topo = Topology::a100(2, 4);
+        let horizon = 1_500_000.0; // ~ a 32 MB AllReduce on this cluster
+        let tl = FaultTimeline::seeded_recovering(
+            seed,
+            topo.n_resources(),
+            topo.n_ranks(),
+            horizon,
+        );
+        let mut comm = Communicator::new(topo).with_validation().with_faults(tl);
+        let rep = comm.all_reduce(32 * MB).unwrap();
+        prop_assert_eq!(rep.sim.data_valid, Some(true), "seed {}", seed);
+        prop_assert!(rep.recovery.is_some());
+    }
+
+    /// Identical seeds replay byte-identically, including the recovery
+    /// counters — the whole fault path is deterministic.
+    #[test]
+    fn fault_recovery_replays_byte_identically(seed in 0u64..32) {
+        let run = || {
+            let topo = Topology::a100(2, 4);
+            let tl = FaultTimeline::seeded_recovering(
+                seed,
+                topo.n_resources(),
+                topo.n_ranks(),
+                1_500_000.0,
+            );
+            let mut comm = Communicator::new(topo).with_validation().with_faults(tl);
+            comm.all_reduce(32 * MB).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
 }
