@@ -18,6 +18,7 @@
 //! assert_eq!(ag.transfers().len(), 8 * 7);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compose;

@@ -19,6 +19,7 @@
 //!   one TB (Eq. 7). Greedy interval partitioning is optimal on interval
 //!   graphs, so the TB count is minimal for the given timeline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rescc_ir::{DepDag, IrError, TaskId};

@@ -1,0 +1,149 @@
+//! The combined task order: DAG data edges ∪ per-TB slot serialization ∪
+//! fused-slot cut-through gates.
+//!
+//! Each artifact's own validator only sees its own ordering relation —
+//! `Schedule::validate` re-checks DAG edges, `TbAllocation::validate`
+//! checks slot placement. The *combination* is what the engine actually
+//! executes: a TB runs its gating slots in order (slot-major: every
+//! micro-batch of a slot before the next slot), a fused slot issues
+//! asynchronously behind its feeder, and every invocation additionally
+//! waits for its DAG predecessors via rendezvous with the peer TB. A cycle
+//! in this combined relation wedges the run even though every individual
+//! artifact is valid.
+
+use rescc_ir::{DepDag, TaskId};
+use rescc_kernel::KernelProgram;
+
+/// The combined order as an adjacency list over task indices, plus the
+/// TB coordinates of each task's two sides (for diagnostics).
+pub struct CombinedOrder {
+    /// Successors of each task under the combined relation (deduplicated).
+    pub succs: Vec<Vec<u32>>,
+    /// `(rank, tb)` of each task's sender slot, if present.
+    pub send_tb: Vec<Option<(u32, u32)>>,
+    /// `(rank, tb)` of each task's receive slot, if present.
+    pub recv_tb: Vec<Option<(u32, u32)>>,
+}
+
+impl CombinedOrder {
+    /// Build the combined order for one compiled plan.
+    pub fn build(dag: &DepDag, program: &KernelProgram) -> Self {
+        let n = dag.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut send_tb: Vec<Option<(u32, u32)>> = vec![None; n];
+        let mut recv_tb: Vec<Option<(u32, u32)>> = vec![None; n];
+
+        // Data dependencies.
+        for t in dag.tasks() {
+            for &s in dag.succs(t.id) {
+                push_edge(&mut succs, t.id, s);
+            }
+        }
+
+        // Per-TB serialization. Both sides of a task map onto the same
+        // combined-order node (rendezvous: an invocation needs both TBs).
+        // A slot marked `fused_with_prev` issues asynchronously behind the
+        // slot directly before it — it is gated by that feeder
+        // (cut-through) but never gates the slots after it.
+        for rp in &program.ranks {
+            for (tb_idx, tb) in rp.tbs.iter().enumerate() {
+                let mut last_gating: Option<TaskId> = None;
+                let mut prev: Option<TaskId> = None;
+                for slot in &tb.slots {
+                    let side = if slot.is_send() {
+                        &mut send_tb
+                    } else {
+                        &mut recv_tb
+                    };
+                    side[slot.task.index()] = Some((rp.rank.0, tb_idx as u32));
+                    if slot.fused_with_prev {
+                        if let Some(p) = prev {
+                            if p != slot.task {
+                                push_edge(&mut succs, p, slot.task);
+                            }
+                        }
+                    } else {
+                        if let Some(g) = last_gating {
+                            if g != slot.task {
+                                push_edge(&mut succs, g, slot.task);
+                            }
+                        }
+                        last_gating = Some(slot.task);
+                    }
+                    prev = Some(slot.task);
+                }
+            }
+        }
+
+        Self {
+            succs,
+            send_tb,
+            recv_tb,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Kahn's algorithm over the combined relation. `Ok` is a valid
+    /// execution order; `Err` is the set of task indices stuck on a cycle
+    /// (ascending).
+    pub fn topo_or_cycle(&self) -> Result<Vec<u32>, Vec<u32>> {
+        let n = self.len();
+        let mut indeg = vec![0u32; n];
+        for ss in &self.succs {
+            for &s in ss {
+                indeg[s as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop() {
+            order.push(t);
+            for &s in &self.succs[t as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let mut seen = vec![false; n];
+            for &t in &order {
+                seen[t as usize] = true;
+            }
+            Err((0..n as u32).filter(|&t| !seen[t as usize]).collect())
+        }
+    }
+
+    /// All tasks reachable from `from` (excluding `from` itself unless it
+    /// sits on a cycle through itself).
+    pub fn reachable_from(&self, from: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<u32> = self.succs[from as usize].clone();
+        while let Some(t) = stack.pop() {
+            if seen[t as usize] {
+                continue;
+            }
+            seen[t as usize] = true;
+            stack.extend_from_slice(&self.succs[t as usize]);
+        }
+        seen
+    }
+}
+
+fn push_edge(succs: &mut [Vec<u32>], from: TaskId, to: TaskId) {
+    debug_assert_ne!(from, to);
+    if !succs[from.index()].contains(&to.0) {
+        succs[from.index()].push(to.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! # rescc-analyze — cross-phase static analysis over compiled plans
+//!
+//! Each stage of the compile pipeline validates its *own* invariants:
+//! the verifier proves the spec's transfers realize the collective, the
+//! scheduler checks per-sub-pipeline conflict loads, the TB allocator
+//! checks slot placement. None of them sees the *combination* — and the
+//! combination is what the engine executes. This crate runs clippy-style
+//! lints over the full artifact stack (`AlgoSpec`, `DepDag`, `Schedule`,
+//! `TbAllocation`, `KernelProgram`, `Topology`) and reports machine-stable
+//! diagnostics:
+//!
+//! | code  | severity | lint |
+//! |-------|----------|------|
+//! | RA001 | error    | deadlock: cycle over DAG edges ∪ per-TB slot order ∪ fusion gates |
+//! | RA002 | error    | buffer race: unordered writes to one `(rank, chunk)` slot |
+//! | RA003 | error/warn | over-subscription: conflict load above saturation / TB budget |
+//! | RA004 | warn     | dead transfer: contribution never reaches the postcondition |
+//! | RA005 | error    | degraded-plan soundness: task routed over a health-masked resource |
+//!
+//! Diagnostics carry a [`Site`] (task / rank / TB / step / sub-pipeline /
+//! resource / chunk, each optional) and render both human-readable
+//! (`error[RA001] at t3 r0 tb1: ...`) and as stable JSON via
+//! [`AnalysisReport::to_json`].
+//!
+//! The pass is wired into three places: the compiler's *sanitize* phase
+//! after lowering (gate configurable deny/warn/off), the `rescc-lint` CLI,
+//! and the communicator's post-fault recovery path (every recompiled
+//! degraded plan is analyzed before the collective resumes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod graph;
+pub mod lints;
+
+pub use diag::{AnalysisReport, Diagnostic, LintCode, Severity, Site};
+pub use graph::CombinedOrder;
+
+use rescc_alloc::TbAllocation;
+use rescc_ir::DepDag;
+use rescc_kernel::KernelProgram;
+use rescc_lang::AlgoSpec;
+use rescc_sched::Schedule;
+use rescc_topology::Topology;
+
+/// Tunables for the analysis pass.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Per-rank thread-block budget (Eq. 7 resource frame). Allocations
+    /// above it get an RA003 warning. NCCL's default channel budget on
+    /// A100-class parts works out to 64 TBs.
+    pub tb_budget_per_rank: u32,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            tb_budget_per_rank: 64,
+        }
+    }
+}
+
+/// The full artifact stack one analysis run inspects. All borrows — the
+/// pass never mutates a plan.
+pub struct AnalysisInput<'a> {
+    /// The verified algorithm spec (postconditions for RA004).
+    pub spec: &'a AlgoSpec,
+    /// The dependency DAG (tasks, edges, conflict limits).
+    pub dag: &'a DepDag,
+    /// The sub-pipeline schedule.
+    pub schedule: &'a Schedule,
+    /// The TB allocation.
+    pub alloc: &'a TbAllocation,
+    /// The lowered kernel program (slot order, fusion).
+    pub program: &'a KernelProgram,
+    /// The topology the plan targets, including its health overlay.
+    pub topo: &'a Topology,
+}
+
+/// Run every lint over one compiled plan and collect the diagnostics.
+///
+/// The report is deterministic: diagnostics are sorted by
+/// `(code, site, message)` regardless of discovery order.
+pub fn analyze(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport {
+    let order = CombinedOrder::build(input.dag, input.program);
+    let mut out = Vec::new();
+    lints::ra001_deadlock(input, &order, &mut out);
+    // A cycle poisons reachability queries; report only the deadlock and
+    // let the user re-run once it is fixed.
+    if out.is_empty() {
+        lints::ra002_buffer_race(input, &order, &mut out);
+    }
+    lints::ra003_oversubscription(input, config, &mut out);
+    lints::ra004_dead_transfer(input, &mut out);
+    lints::ra005_degraded_soundness(input, &mut out);
+    AnalysisReport::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescc_kernel::{ExecMode, LoopOrder};
+    use rescc_topology::Topology;
+
+    fn full_stack(
+        spec: &AlgoSpec,
+        topo: &Topology,
+    ) -> (DepDag, Schedule, TbAllocation, KernelProgram) {
+        let dag = DepDag::build(spec, topo).expect("dag");
+        let sched = rescc_sched::hpds(&dag);
+        let alloc = TbAllocation::connection_based(&dag, &sched, 1);
+        let program = KernelProgram::generate(
+            spec.name(),
+            &dag,
+            &alloc,
+            LoopOrder::SlotMajor,
+            ExecMode::DirectKernel,
+        );
+        (dag, sched, alloc, program)
+    }
+
+    #[test]
+    fn ring_allgather_is_clean() {
+        let topo = Topology::a100(1, 4);
+        let spec = rescc_algos::ring_allgather(4);
+        let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+        let report = analyze(
+            &AnalysisInput {
+                spec: &spec,
+                dag: &dag,
+                schedule: &schedule,
+                alloc: &alloc,
+                program: &program,
+                topo: &topo,
+            },
+            &AnalysisConfig::default(),
+        );
+        assert!(report.is_clean(), "unexpected: {}", report.render_human());
+    }
+
+    #[test]
+    fn hm_allreduce_is_clean() {
+        let topo = Topology::a100(2, 4);
+        let spec = rescc_algos::hm_allreduce(2, 4);
+        let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+        let report = analyze(
+            &AnalysisInput {
+                spec: &spec,
+                dag: &dag,
+                schedule: &schedule,
+                alloc: &alloc,
+                program: &program,
+                topo: &topo,
+            },
+            &AnalysisConfig::default(),
+        );
+        assert!(report.is_clean(), "unexpected: {}", report.render_human());
+    }
+}

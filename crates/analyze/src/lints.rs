@@ -1,0 +1,335 @@
+//! The lint passes RA001–RA005.
+
+use crate::diag::{Diagnostic, LintCode, Severity, Site};
+use crate::graph::CombinedOrder;
+use crate::{AnalysisConfig, AnalysisInput};
+use rescc_lang::{CommType, OpType};
+use rescc_topology::ChunkId;
+use std::collections::HashMap;
+
+/// RA001 — deadlock: a cycle in the combined order (DAG edges ∪ per-TB
+/// serialization ∪ fusion cut-through gates). Every invocation needs both
+/// its TBs at the rendezvous *and* its DAG predecessors complete; a cycle
+/// therefore wedges the engine with the event heap drained.
+pub fn ra001_deadlock(input: &AnalysisInput, order: &CombinedOrder, out: &mut Vec<Diagnostic>) {
+    let stuck = match order.topo_or_cycle() {
+        Ok(_) => return,
+        Err(stuck) => stuck,
+    };
+    // Walk inside the stuck set to print one concrete cycle.
+    let cycle = find_cycle(order, &stuck);
+    let path = cycle
+        .iter()
+        .map(|t| format!("t{t}"))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let first = cycle.first().copied().unwrap_or(stuck[0]);
+    let (rank, tb) = order.send_tb[first as usize]
+        .or(order.recv_tb[first as usize])
+        .map(|(r, tb)| (Some(r), Some(tb)))
+        .unwrap_or((None, None));
+    out.push(Diagnostic {
+        code: LintCode::RA001,
+        severity: Severity::Error,
+        message: format!(
+            "deadlock: {} task(s) wait on each other across DAG dependencies and \
+             TB slot order; cycle {path} -> t{first}",
+            stuck.len()
+        ),
+        site: Site {
+            task: Some(first),
+            rank,
+            tb,
+            step: Some(input.dag.task(rescc_ir::TaskId::new(first)).step.0),
+            ..Site::default()
+        },
+    });
+}
+
+/// Find one cycle within `stuck` (every member has a successor in the
+/// set, so a walk must revisit a node).
+fn find_cycle(order: &CombinedOrder, stuck: &[u32]) -> Vec<u32> {
+    let in_stuck: Vec<bool> = {
+        let mut v = vec![false; order.len()];
+        for &t in stuck {
+            v[t as usize] = true;
+        }
+        v
+    };
+    let mut pos: HashMap<u32, usize> = HashMap::new();
+    let mut path: Vec<u32> = Vec::new();
+    let mut cur = stuck[0];
+    loop {
+        if let Some(&at) = pos.get(&cur) {
+            return path[at..].to_vec();
+        }
+        pos.insert(cur, path.len());
+        path.push(cur);
+        let next = order.succs[cur as usize]
+            .iter()
+            .copied()
+            .find(|&s| in_stuck[s as usize]);
+        match next {
+            Some(n) => cur = n,
+            // Unreachable for a true cycle set; bail deterministically.
+            None => return path,
+        }
+    }
+}
+
+/// RA002 — buffer race: two deliveries into one `(rank, chunk)` slot with
+/// no happens-before path between them in the combined order, where at
+/// least one is a plain copy (`recv`). Two unordered reductions commute;
+/// an unordered copy does not — the slot's final value depends on arrival
+/// order. The front-end verifier only rejects same-*step* copy pairs; TB
+/// allocation and fusion can leave *cross-step* writes unordered too, and
+/// those are invisible at spec level.
+pub fn ra002_buffer_race(input: &AnalysisInput, order: &CombinedOrder, out: &mut Vec<Diagnostic>) {
+    // Writers per (dst rank, chunk) slot.
+    let mut writers: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    for t in input.dag.tasks() {
+        writers
+            .entry((t.dst.0, t.chunk.0))
+            .or_default()
+            .push(t.id.0);
+    }
+    let mut keys: Vec<(u32, u32)> = writers.keys().copied().collect();
+    keys.sort_unstable();
+    let mut reach_cache: HashMap<u32, Vec<bool>> = HashMap::new();
+    for key in keys {
+        let group = &writers[&key];
+        if group.len() < 2 {
+            continue;
+        }
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                let ca = input.dag.task(rescc_ir::TaskId::new(a)).comm;
+                let cb = input.dag.task(rescc_ir::TaskId::new(b)).comm;
+                if ca != CommType::Recv && cb != CommType::Recv {
+                    continue; // rrc + rrc commutes
+                }
+                let a_before_b = reach_cache
+                    .entry(a)
+                    .or_insert_with(|| order.reachable_from(a))[b as usize];
+                let b_before_a = reach_cache
+                    .entry(b)
+                    .or_insert_with(|| order.reachable_from(b))[a as usize];
+                if !a_before_b && !b_before_a {
+                    let (rank, chunk) = key;
+                    let tb = input.dag.task(rescc_ir::TaskId::new(b));
+                    out.push(Diagnostic {
+                        code: LintCode::RA002,
+                        severity: Severity::Error,
+                        message: format!(
+                            "buffer race: tasks t{a} and t{b} both write rank r{rank} \
+                             chunk c{chunk} with no ordering between them (at least \
+                             one is a plain copy — the final value depends on arrival \
+                             order)"
+                        ),
+                        site: Site {
+                            task: Some(b),
+                            rank: Some(rank),
+                            chunk: Some(chunk),
+                            step: Some(tb.step.0),
+                            ..Site::default()
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// RA003 — over-subscription: (a) a conflict resource carries more
+/// concurrent tasks inside one sub-pipeline than its saturation limit
+/// (the Eq. 1 contention constraint the scheduler must respect), and
+/// (b) a rank launches more TBs than the configured per-rank budget
+/// (the Eq. 7 resource frame). (a) is an error — the sim will serialize
+/// the excess into pipeline bubbles; (b) is a warning — correct, but the
+/// kernel competes with compute kernels for SMs.
+pub fn ra003_oversubscription(
+    input: &AnalysisInput,
+    config: &AnalysisConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (sp_idx, sp) in input.schedule.sub_pipelines.iter().enumerate() {
+        let mut load: HashMap<u32, (u32, u32)> = HashMap::new(); // res -> (load, first offender)
+        for &t in sp {
+            for r in input.dag.task(t).conflict.iter() {
+                let e = load.entry(r.0).or_insert((0, t.0));
+                e.0 += 1;
+                e.1 = t.0; // remember the latest task to push it over
+            }
+        }
+        let mut entries: Vec<(u32, (u32, u32))> = load.into_iter().collect();
+        entries.sort_unstable();
+        for (res, (load, task)) in entries {
+            let limit = input
+                .dag
+                .conflict_limit(rescc_topology::ResourceId::new(res));
+            if load > limit {
+                out.push(Diagnostic {
+                    code: LintCode::RA003,
+                    severity: Severity::Error,
+                    message: format!(
+                        "over-subscription: sub-pipeline {sp_idx} drives resource \
+                         res{res} with {load} concurrent tasks, above its saturation \
+                         limit {limit} — the excess serializes into pipeline bubbles"
+                    ),
+                    site: Site {
+                        task: Some(task),
+                        resource: Some(res),
+                        sub_pipeline: Some(sp_idx as u32),
+                        ..Site::default()
+                    },
+                });
+            }
+        }
+    }
+
+    for (rank, plan) in input.alloc.per_rank.iter().enumerate() {
+        let n_tbs = plan.tbs.len() as u32;
+        if n_tbs > config.tb_budget_per_rank {
+            out.push(Diagnostic {
+                code: LintCode::RA003,
+                severity: Severity::Warn,
+                message: format!(
+                    "TB budget: rank r{rank} launches {n_tbs} TBs, above the \
+                     per-rank budget of {} (Eq. 7) — communication TBs crowd out \
+                     compute kernels",
+                    config.tb_budget_per_rank
+                ),
+                site: Site {
+                    rank: Some(rank as u32),
+                    ..Site::default()
+                },
+            });
+        }
+    }
+}
+
+/// RA004 — dead transfer: replay each chunk's transfers with provenance
+/// tracking (which tasks flowed into each slot's current value, with the
+/// verifier's step semantics: reads observe the pre-step state, writes
+/// commit per step). A task whose contribution reaches no slot the
+/// operator's postcondition reads — e.g. it was overwritten before anyone
+/// forwarded it — moves bytes for nothing.
+pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let n_ranks = input.spec.n_ranks() as usize;
+    let n_tasks = input.dag.len();
+    let words = n_tasks.div_ceil(64).max(1);
+
+    for chunk in 0..input.dag.n_chunks() {
+        let chunk_tasks = input.dag.chunk_tasks(ChunkId::new(chunk));
+        if chunk_tasks.is_empty() {
+            continue;
+        }
+        // prov[rank] = bitset of tasks contributing to the slot's value.
+        let mut prov: Vec<Vec<u64>> = vec![vec![0u64; words]; n_ranks];
+
+        let mut i = 0;
+        while i < chunk_tasks.len() {
+            let step = input.dag.task(chunk_tasks[i]).step;
+            let mut j = i;
+            while j < chunk_tasks.len() && input.dag.task(chunk_tasks[j]).step == step {
+                j += 1;
+            }
+            let group = &chunk_tasks[i..j];
+            // Reads observe the pre-step state.
+            let reads: Vec<Vec<u64>> = group
+                .iter()
+                .map(|&t| prov[input.dag.task(t).src.index()].clone())
+                .collect();
+            for (&t, read) in group.iter().zip(&reads) {
+                let task = input.dag.task(t);
+                let slot = &mut prov[task.dst.index()];
+                match task.comm {
+                    CommType::Recv => slot.copy_from_slice(read),
+                    CommType::Rrc => {
+                        for (a, b) in slot.iter_mut().zip(read) {
+                            *a |= b;
+                        }
+                    }
+                }
+                slot[t.index() / 64] |= 1u64 << (t.index() % 64);
+            }
+            i = j;
+        }
+
+        // Union the provenance of every slot the postcondition reads.
+        let mut useful = vec![0u64; words];
+        for (r, slot) in prov.iter().enumerate() {
+            let required = match input.spec.op() {
+                OpType::AllGather | OpType::AllReduce => true,
+                OpType::ReduceScatter => r as u32 == chunk,
+            };
+            if required {
+                for (u, s) in useful.iter_mut().zip(slot) {
+                    *u |= s;
+                }
+            }
+        }
+
+        for &t in chunk_tasks {
+            if useful[t.index() / 64] & (1u64 << (t.index() % 64)) == 0 {
+                let task = input.dag.task(t);
+                out.push(Diagnostic {
+                    code: LintCode::RA004,
+                    severity: Severity::Warn,
+                    message: format!(
+                        "dead transfer: task t{} ({} -> {} chunk c{chunk}) never \
+                         contributes to the operator's postcondition — its delivery \
+                         is overwritten before any required slot reads it",
+                        t.0, task.src, task.dst
+                    ),
+                    site: Site {
+                        task: Some(t.0),
+                        rank: Some(task.dst.0),
+                        step: Some(task.step.0),
+                        chunk: Some(chunk),
+                        ..Site::default()
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// RA005 — degraded-plan soundness: no task may traverse a resource the
+/// topology's health overlay masks dead. The router relays around dead
+/// NVLink channels and fails over dead NIC directions, but falls back to
+/// the dead resource when no healthy alternative exists — a plan carrying
+/// such a task fails at runtime on its first transfer.
+pub fn ra005_degraded_soundness(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let health = input.topo.health();
+    if health.is_empty() {
+        return;
+    }
+    for t in input.dag.tasks() {
+        // `path` is a superset of `conflict`; check both defensively.
+        let hit = t
+            .path
+            .iter()
+            .chain(t.conflict.iter())
+            .find(|&r| health.is_dead(r));
+        if let Some(res) = hit {
+            out.push(Diagnostic {
+                code: LintCode::RA005,
+                severity: Severity::Error,
+                message: format!(
+                    "degraded-plan soundness: task t{} ({} -> {}) is routed over \
+                     resource res{} which the health overlay masks dead — the \
+                     first transfer on it fails",
+                    t.id.0, t.src, t.dst, res.0
+                ),
+                site: Site {
+                    task: Some(t.id.0),
+                    rank: Some(t.src.0),
+                    step: Some(t.step.0),
+                    resource: Some(res.0),
+                    ..Site::default()
+                },
+            });
+        }
+    }
+}

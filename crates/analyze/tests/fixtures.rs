@@ -1,0 +1,338 @@
+//! Defect-fixture corpus: one minimal fixture per lint, each triggering
+//! exactly its own code and nothing else.
+//!
+//! Each fixture starts from a *valid* compiled stack and injects one
+//! defect at the layer the lint targets — a fabricated TB slot order for
+//! RA001, a racy spec for RA002, a degenerate schedule / tiny TB budget
+//! for RA003, a provenance-dead transfer for RA004, a health-masked
+//! topology for RA005. The assertions pin both the code *and* the absence
+//! of every other code, so a lint that starts over- or under-firing fails
+//! here before it reaches the seed sweep.
+
+use rescc_alloc::TbAllocation;
+use rescc_analyze::{analyze, AnalysisConfig, AnalysisInput, AnalysisReport, LintCode, Severity};
+use rescc_ir::DepDag;
+use rescc_kernel::{ExecMode, KernelProgram, KernelSlot, LoopOrder, Primitive, TbProgram};
+use rescc_lang::{AlgoBuilder, AlgoSpec, CommType, OpType, TransferRec};
+use rescc_sched::{hpds, Schedule};
+use rescc_topology::{ChunkId, NicId, Rank, Step, Topology, TopologyHealth};
+
+fn full_stack(spec: &AlgoSpec, topo: &Topology) -> (DepDag, Schedule, TbAllocation, KernelProgram) {
+    let dag = DepDag::build(spec, topo).expect("dag");
+    let sched = hpds(&dag);
+    let alloc = TbAllocation::connection_based(&dag, &sched, 1);
+    let program = KernelProgram::generate(
+        spec.name(),
+        &dag,
+        &alloc,
+        LoopOrder::SlotMajor,
+        ExecMode::DirectKernel,
+    );
+    (dag, sched, alloc, program)
+}
+
+fn run(
+    spec: &AlgoSpec,
+    topo: &Topology,
+    dag: &DepDag,
+    schedule: &Schedule,
+    alloc: &TbAllocation,
+    program: &KernelProgram,
+    config: &AnalysisConfig,
+) -> AnalysisReport {
+    analyze(
+        &AnalysisInput {
+            spec,
+            dag,
+            schedule,
+            alloc,
+            program,
+            topo,
+        },
+        config,
+    )
+}
+
+/// Every diagnostic carries `code` with `severity`, and there is at least
+/// one.
+fn assert_only(report: &AnalysisReport, code: LintCode, severity: Severity) {
+    assert!(
+        !report.diagnostics().is_empty(),
+        "expected {} diagnostics, report is clean",
+        code.as_str()
+    );
+    for d in report.diagnostics() {
+        assert_eq!(
+            d.code,
+            code,
+            "unexpected cross-fire:\n{}",
+            report.render_human()
+        );
+        assert_eq!(d.severity, severity, "wrong severity: {}", d.message);
+    }
+}
+
+/// RA001: a fabricated TB whose slot order contradicts a DAG edge. The
+/// ring chain has t0 -> t1 for chunk 0; a TB running [t1, t0] serializes
+/// t1 before t0, closing the cycle. Every individual artifact still
+/// passes its own validator — only the combined order is wedged.
+#[test]
+fn ra001_fixture_tb_order_against_dag_edge() {
+    let topo = Topology::a100(1, 4);
+    let spec = rescc_algos::ring_allgather(4);
+    let (dag, schedule, alloc, mut program) = full_stack(&spec, &topo);
+
+    let chain = dag.chunk_tasks(ChunkId::new(0));
+    let (x, y) = (chain[0], chain[1]);
+    assert!(dag.succs(x).contains(&y), "fixture precondition: x -> y");
+    let slot = |t: rescc_ir::TaskId| KernelSlot {
+        task: t,
+        primitive: Primitive::Recv,
+        peer: dag.task(t).src,
+        chunk: dag.task(t).chunk,
+        sub_pipeline: 0,
+        fused_with_prev: false,
+    };
+    program.ranks[0].tbs.push(TbProgram {
+        slots: vec![slot(y), slot(x)],
+        mb_stride: 1,
+        mb_offset: 0,
+    });
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA001, Severity::Error);
+    let d = &report.diagnostics()[0];
+    assert!(
+        d.message.contains("cycle"),
+        "RA001 should print the cycle: {}",
+        d.message
+    );
+}
+
+/// RA002: a same-step copy + reduction racing into one `(rank, chunk)`
+/// slot. The spec validator accepts it (the tuples are distinct), the DAG
+/// draws no edge (same step), and the two receives land in different TBs
+/// (different connections) — so nothing orders them and the slot's final
+/// value depends on arrival order.
+#[test]
+fn ra002_fixture_unordered_copy_vs_reduce() {
+    let topo = Topology::a100(1, 4);
+    let mut b = AlgoBuilder::new("race", OpType::AllReduce, 4);
+    b.recv(1, 0, 0, 0);
+    b.rrc(2, 0, 0, 0);
+    let spec = b.build().expect("racy spec is syntactically valid");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA002, Severity::Error);
+    assert_eq!(report.diagnostics().len(), 1);
+    let site = &report.diagnostics()[0].site;
+    assert_eq!(site.rank, Some(0));
+    assert_eq!(site.chunk, Some(0));
+}
+
+/// RA002 counter-fixture: two *reductions* into one slot commute, so the
+/// same shape with `rrc` + `rrc` is clean.
+#[test]
+fn ra002_two_reductions_commute() {
+    let topo = Topology::a100(1, 4);
+    let mut b = AlgoBuilder::new("commute", OpType::AllReduce, 4);
+    b.rrc(1, 0, 0, 0);
+    b.rrc(2, 0, 0, 0);
+    let spec = b.build().expect("spec");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert!(report.is_clean(), "unexpected: {}", report.render_human());
+}
+
+/// RA003 (error): cram every task of an 8-rank ring into one sub-pipeline.
+/// Each GPU egress then carries 7 concurrent tasks against a saturation
+/// limit far below that — the Eq. 1 contention constraint the scheduler
+/// exists to respect.
+#[test]
+fn ra003_fixture_oversubscribed_sub_pipeline() {
+    let topo = Topology::a100(1, 8);
+    let spec = rescc_algos::ring_allgather(8);
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+    let flat = Schedule {
+        sub_pipelines: vec![schedule.linear_order()],
+        policy: "everything-at-once".into(),
+    };
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &flat,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA003, Severity::Error);
+}
+
+/// RA003 (warn): the same clean plan against a TB budget of 1 per rank.
+/// Connection-based allocation needs one TB per endpoint (>= 2 on a
+/// ring), so every rank trips the Eq. 7 budget — a warning, not an error:
+/// the plan is correct, it just crowds out compute kernels.
+#[test]
+fn ra003_fixture_tb_budget_exceeded() {
+    let topo = Topology::a100(1, 4);
+    let spec = rescc_algos::ring_allgather(4);
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+    assert!(alloc.per_rank.iter().all(|p| p.tbs.len() >= 2));
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig {
+            tb_budget_per_rank: 1,
+        },
+    );
+    assert_only(&report, LintCode::RA003, Severity::Warn);
+    assert_eq!(report.diagnostics().len(), 4, "one warning per rank");
+}
+
+/// RA004: a ring AllGather plus a transfer whose delivery is overwritten
+/// before anything reads it. Task A copies rank 0's (empty) chunk-0 slot
+/// into rank 1; task B overwrites the same slot one step later. A's
+/// contribution reaches no slot the postcondition reads — bytes moved for
+/// nothing — while B's survives to the end and stays clean.
+#[test]
+fn ra004_fixture_overwritten_transfer() {
+    let topo = Topology::a100(1, 4);
+    let ring = rescc_algos::ring_allgather(4);
+    let last = ring.max_step().0;
+    let mut transfers = ring.transfers().to_vec();
+    let extra = |step: u32| TransferRec {
+        src: Rank::new(0),
+        dst: Rank::new(1),
+        step: Step::new(step),
+        chunk: ChunkId::new(0),
+        comm: CommType::Recv,
+    };
+    transfers.push(extra(last + 1)); // task A — dead
+    transfers.push(extra(last + 2)); // task B — overwrites A
+    let spec =
+        AlgoSpec::new("ring-plus-dead", OpType::AllGather, 4, transfers).expect("valid spec");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA004, Severity::Warn);
+    assert_eq!(report.diagnostics().len(), 1, "only A is dead, B survives");
+    let site = &report.diagnostics()[0].site;
+    assert_eq!(site.step, Some(last + 1), "the dead task is A, not B");
+    assert_eq!(site.chunk, Some(0));
+}
+
+/// RA005: a plan compiled against a healthy 2-node topology, analyzed
+/// against the same topology with node 0's NIC egress masked dead. Every
+/// cross-node task routed over that NIC is unsound — it fails at runtime
+/// on its first transfer.
+#[test]
+fn ra005_fixture_plan_over_dead_nic() {
+    let healthy = Topology::a100(2, 2);
+    let spec = rescc_algos::ring_allgather(4);
+    let (dag, schedule, alloc, program) = full_stack(&spec, &healthy);
+
+    let mut mask = TopologyHealth::healthy();
+    mask.mask(healthy.nic_tx(NicId::new(0)));
+    let degraded = Topology::a100(2, 2).with_health(mask);
+
+    let report = run(
+        &spec,
+        &degraded,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA005, Severity::Error);
+    let nic = healthy.nic_tx(NicId::new(0)).0;
+    for d in report.diagnostics() {
+        assert_eq!(d.site.resource, Some(nic));
+    }
+}
+
+/// The fixtures above stay minimal *because* the seed corpus is clean:
+/// every lint must report zero diagnostics across all seed algorithms on
+/// every Table 3 topology (the zero-false-positive acceptance bar).
+#[test]
+fn seed_algorithms_on_table3_topologies_are_clean() {
+    for i in 1..=4 {
+        let topo = Topology::table3_topo(i).expect("table 3 topology");
+        let nodes = topo.n_nodes();
+        let g = topo.n_ranks() / nodes;
+        let n = topo.n_ranks();
+        let mut specs = vec![
+            rescc_algos::hm_allgather(nodes, g),
+            rescc_algos::hm_reduce_scatter(nodes, g),
+            rescc_algos::hm_allreduce(nodes, g),
+            rescc_algos::ring_allgather(n),
+            rescc_algos::ring_reduce_scatter(n),
+            rescc_algos::ring_allreduce(n),
+        ];
+        if n.is_power_of_two() {
+            specs.push(rescc_algos::recursive_doubling_allgather(n));
+            specs.push(rescc_algos::recursive_halving_reduce_scatter(n));
+            specs.push(rescc_algos::dbtree_allreduce(n));
+        }
+        for spec in &specs {
+            let (dag, schedule, alloc, program) = full_stack(spec, &topo);
+            let report = run(
+                spec,
+                &topo,
+                &dag,
+                &schedule,
+                &alloc,
+                &program,
+                &AnalysisConfig::default(),
+            );
+            assert!(
+                report.is_clean(),
+                "{} on {} not clean:\n{}",
+                spec.name(),
+                topo.name(),
+                report.render_human()
+            );
+        }
+    }
+}

@@ -220,6 +220,18 @@ impl Communicator {
                 .cache
                 .get_or_compile(&self.compiler, &spec, &topo, &mb)?;
             let fingerprint = plan_fingerprint(&self.compiler, &spec, &topo, &mb);
+            // Every post-fault recompile is analyzed before the collective
+            // resumes: the compiler's sanitize phase already ran (the
+            // communicator's gate is deny), and RA005 specifically proves
+            // no task routes over a masked resource. Refuse to resume on a
+            // plan that somehow still carries errors (e.g. a caller-tuned
+            // warn gate) rather than fail mid-collective.
+            if stats.recompiles > 0 && plan.diagnostics.has_errors() {
+                return Err(SimError::new(format!(
+                    "recovery: degraded plan rejected by static analysis\n{}",
+                    plan.diagnostics.render_human()
+                )));
+            }
             let mut cfg = if self.validate {
                 SimConfig::default()
             } else {
@@ -236,6 +248,7 @@ impl Communicator {
                     stats.recovery_ns = elapsed;
                     stats.dead_resources = self.health.dead().iter().map(|r| r.0).collect();
                     stats.plan_fingerprint = fingerprint;
+                    stats.lint_diagnostics = plan.diagnostics.diagnostics().len() as u32;
                     return Ok(RunReport {
                         backend: "resccl".to_string(),
                         algo: spec.name().to_string(),
@@ -384,6 +397,8 @@ mod tests {
         let rec = rep.recovery.expect("watchdog engaged");
         assert!(rec.recompiles >= 1, "link death must recompile");
         assert_eq!(rec.dead_resources, vec![chan.0]);
+        // The degraded plan was re-analyzed (deny gate) and came out clean.
+        assert_eq!(rec.lint_diagnostics, 0);
         assert!(comm.health().is_dead(chan));
         // The degraded plan's fingerprint differs from any healthy plan's.
         assert_ne!(Some(rec.plan_fingerprint), healthy_fp);

@@ -14,6 +14,7 @@
 //! with identical metrics, which the benchmark harness turns into the
 //! paper's tables and figures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod communicator;
@@ -47,6 +48,10 @@ pub struct RecoveryStats {
     /// Fingerprint of the plan that completed (distinct from the healthy
     /// plan's whenever the mask is non-empty).
     pub plan_fingerprint: u64,
+    /// Sanitize-phase findings on the plan that completed. Degraded plans
+    /// are re-analyzed after every post-fault recompile; a recompiled plan
+    /// carrying `Error`-severity findings is refused before resume.
+    pub lint_diagnostics: u32,
 }
 
 /// Result of running one collective call through a backend.

@@ -9,6 +9,7 @@
 //! Shared here: the buffer-size grids, table formatting, and the sweep
 //! drivers (parallelized across topologies with scoped threads).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

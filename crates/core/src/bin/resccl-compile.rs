@@ -161,11 +161,13 @@ fn main() -> ExitCode {
         plan.total_tbs(),
     );
     println!(
-        "phases: parsing {:?}, analysis {:?}, scheduling {:?}, lowering {:?} (total {:?})",
+        "phases: parsing {:?}, analysis {:?}, scheduling {:?}, lowering {:?}, \
+         sanitize {:?} (total {:?})",
         plan.timings.parsing,
         plan.timings.analysis,
         plan.timings.scheduling,
         plan.timings.lowering,
+        plan.timings.sanitize,
         plan.timings.total(),
     );
 

@@ -24,7 +24,7 @@
 //! Anything that changes one of these — a different chunking, another
 //! topology, a tweaked fabric parameter — changes the key and misses.
 
-use crate::{CompiledPlan, Compiler, SchedulerChoice};
+use crate::{CompiledPlan, Compiler, LintGate, SchedulerChoice};
 use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, CommType, OpType};
 use rescc_sim::SimResult;
@@ -88,6 +88,14 @@ impl PlanCache {
         Self::default()
     }
 
+    /// Lock the map, recovering from poisoning. Entries are only ever
+    /// whole `Arc<CompiledPlan>`s inserted after a successful compile, so
+    /// a panic in another thread cannot leave a half-written entry —
+    /// inheriting the map is always safe.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<CompiledPlan>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Return the cached plan for this configuration, compiling (and
     /// caching) it on first sight.
     ///
@@ -102,13 +110,13 @@ impl PlanCache {
         mb: &MicroBatchPlan,
     ) -> SimResult<Arc<CompiledPlan>> {
         let key = plan_fingerprint(compiler, spec, topo, mb);
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        if let Some(hit) = self.map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         let compiled = Arc::new(compiler.compile_spec(spec, topo)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, Arc::clone(&compiled));
+        self.map().insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
@@ -127,13 +135,13 @@ impl PlanCache {
         CacheStats {
             hits: self.hits(),
             misses: self.misses(),
-            entries: self.map.lock().unwrap().len(),
+            entries: self.map().len(),
         }
     }
 
     /// Drop every cached plan (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.map().clear();
     }
 }
 
@@ -152,6 +160,14 @@ pub fn plan_fingerprint(
         SchedulerChoice::RoundRobin => 1,
     });
     h.u32(compiler.verify as u32);
+    // The lint gate changes whether a plan exists at all (deny) and what
+    // diagnostics ride on it, so gated and ungated plans must not alias.
+    h.u32(match compiler.lint_gate {
+        LintGate::Off => 0,
+        LintGate::Warn => 1,
+        LintGate::Deny => 2,
+    });
+    h.u32(compiler.lint_config.tb_budget_per_rank);
 
     // Algorithm spec.
     h.str(spec.name());

@@ -11,7 +11,11 @@
 //! 1. **Parsing** — DSL text → AST → validated `AlgoSpec`,
 //! 2. **Analysis** — `AlgoSpec` → dependency DAG (`G_A`),
 //! 3. **Scheduling** — HPDS (or round-robin) → task pipeline,
-//! 4. **Lowering** — TB allocation + kernel generation.
+//! 4. **Lowering** — TB allocation + kernel generation,
+//! 5. **Sanitize** — cross-phase static analysis (`rescc-analyze` lints
+//!    RA001–RA005) over the finished artifact stack, gated by
+//!    [`LintGate`] (deny by default: `Error`-severity findings fail the
+//!    compile).
 //!
 //! ```
 //! use rescc_core::Compiler;
@@ -26,6 +30,7 @@
 //!     plan.timings.total(), report.algo_bandwidth_gbps(64 << 20));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
@@ -33,6 +38,7 @@ mod cache;
 pub use cache::{plan_fingerprint, CacheStats, PlanCache};
 
 use rescc_alloc::TbAllocation;
+use rescc_analyze::{analyze, AnalysisConfig, AnalysisInput, AnalysisReport};
 use rescc_ir::{DepDag, MicroBatchPlan};
 use rescc_kernel::{emit_all, ExecMode, KernelProgram, LoopOrder};
 use rescc_lang::{eval, parse, verify_collective_with_threads, AlgoSpec, OpType};
@@ -55,6 +61,7 @@ pub mod phase_counters {
     pub(crate) static ANALYSIS: AtomicU64 = AtomicU64::new(0);
     pub(crate) static SCHEDULING: AtomicU64 = AtomicU64::new(0);
     pub(crate) static LOWERING: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static SANITIZE: AtomicU64 = AtomicU64::new(0);
 
     /// How many times each compile phase has run in this process.
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,12 +74,14 @@ pub mod phase_counters {
         pub scheduling: u64,
         /// Lowering-phase executions.
         pub lowering: u64,
+        /// Sanitize-phase executions (static analysis over the artifact).
+        pub sanitize: u64,
     }
 
     impl PhaseCounts {
         /// Sum over all phases.
         pub fn total(&self) -> u64 {
-            self.parsing + self.analysis + self.scheduling + self.lowering
+            self.parsing + self.analysis + self.scheduling + self.lowering + self.sanitize
         }
 
         /// Per-phase difference against an earlier snapshot.
@@ -82,6 +91,7 @@ pub mod phase_counters {
                 analysis: self.analysis - earlier.analysis,
                 scheduling: self.scheduling - earlier.scheduling,
                 lowering: self.lowering - earlier.lowering,
+                sanitize: self.sanitize - earlier.sanitize,
             }
         }
     }
@@ -93,6 +103,7 @@ pub mod phase_counters {
             analysis: ANALYSIS.load(Ordering::Relaxed),
             scheduling: SCHEDULING.load(Ordering::Relaxed),
             lowering: LOWERING.load(Ordering::Relaxed),
+            sanitize: SANITIZE.load(Ordering::Relaxed),
         }
     }
 
@@ -122,13 +133,29 @@ pub struct PhaseTimings {
     pub scheduling: Duration,
     /// Pipeline → TB allocation → kernel program.
     pub lowering: Duration,
+    /// Static analysis over the finished artifact stack. Zero when the
+    /// lint gate is [`LintGate::Off`].
+    pub sanitize: Duration,
 }
 
 impl PhaseTimings {
     /// End-to-end compile time.
     pub fn total(&self) -> Duration {
-        self.parsing + self.analysis + self.scheduling + self.lowering
+        self.parsing + self.analysis + self.scheduling + self.lowering + self.sanitize
     }
+}
+
+/// What the compiler does with the sanitize phase's findings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LintGate {
+    /// Skip the sanitize phase entirely.
+    Off,
+    /// Run the lints and attach the report, but never fail the compile.
+    Warn,
+    /// Run the lints; `Error`-severity findings fail the compile. `Warn`
+    /// findings are attached to the plan but do not fail it.
+    #[default]
+    Deny,
 }
 
 /// The ResCCL offline compiler.
@@ -146,6 +173,10 @@ pub struct Compiler {
     /// kernel lowering. The output is bit-identical for any value; 1
     /// (the default) compiles fully serially.
     pub threads: usize,
+    /// What to do with the sanitize phase's findings (deny by default).
+    pub lint_gate: LintGate,
+    /// Tunables for the sanitize phase's lints.
+    pub lint_config: AnalysisConfig,
 }
 
 impl Default for Compiler {
@@ -154,6 +185,8 @@ impl Default for Compiler {
             scheduler: SchedulerChoice::default(),
             verify: true,
             threads: 1,
+            lint_gate: LintGate::default(),
+            lint_config: AnalysisConfig::default(),
         }
     }
 }
@@ -174,6 +207,12 @@ impl Compiler {
     /// (0 is treated as 1). Output is identical for any thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the sanitize-phase gate (deny / warn / off).
+    pub fn with_lint_gate(mut self, gate: LintGate) -> Self {
+        self.lint_gate = gate;
         self
     }
 
@@ -235,6 +274,32 @@ impl Compiler {
         phase_counters::bump(&phase_counters::LOWERING);
         timings.lowering = t0.elapsed();
 
+        let t0 = Instant::now();
+        let diagnostics = if self.lint_gate == LintGate::Off {
+            AnalysisReport::default()
+        } else {
+            let report = analyze(
+                &AnalysisInput {
+                    spec,
+                    dag: &dag,
+                    schedule: &schedule,
+                    alloc: &alloc,
+                    program: &program,
+                    topo,
+                },
+                &self.lint_config,
+            );
+            phase_counters::bump(&phase_counters::SANITIZE);
+            if self.lint_gate == LintGate::Deny && report.has_errors() {
+                return Err(SimError::new(format!(
+                    "sanitize: plan rejected by lint gate\n{}",
+                    report.render_human()
+                )));
+            }
+            report
+        };
+        timings.sanitize = t0.elapsed();
+
         Ok(CompiledPlan {
             topo: topo.clone(),
             op: spec.op(),
@@ -244,6 +309,7 @@ impl Compiler {
             alloc,
             program,
             timings,
+            diagnostics,
         })
     }
 }
@@ -267,6 +333,10 @@ pub struct CompiledPlan {
     pub program: KernelProgram,
     /// Per-phase compile timings.
     pub timings: PhaseTimings,
+    /// Sanitize-phase findings. Empty when the plan is clean or the lint
+    /// gate was [`LintGate::Off`]; under [`LintGate::Warn`] this may carry
+    /// `Error`-severity findings the gate let through.
+    pub diagnostics: AnalysisReport,
 }
 
 impl CompiledPlan {
@@ -388,6 +458,61 @@ mod tests {
         compiler.verify = false;
         // Compiles (the runtime check would still catch it when run).
         compiler.compile_spec(&b.build().unwrap(), &topo).unwrap();
+    }
+
+    #[test]
+    fn sanitize_phase_runs_and_is_clean_on_seed_algorithms() {
+        let before = phase_counters::snapshot();
+        let topo = Topology::a100(2, 4);
+        let plan = Compiler::new()
+            .compile_spec(&hm_allreduce(2, 4), &topo)
+            .unwrap();
+        assert!(
+            plan.diagnostics.is_clean(),
+            "{}",
+            plan.diagnostics.render_human()
+        );
+        let delta = phase_counters::snapshot().since(&before);
+        assert_eq!(delta.sanitize, 1);
+    }
+
+    #[test]
+    fn lint_gate_off_skips_sanitize() {
+        let before = phase_counters::snapshot();
+        let topo = Topology::a100(2, 4);
+        let plan = Compiler::new()
+            .with_lint_gate(LintGate::Off)
+            .compile_spec(&hm_allreduce(2, 4), &topo)
+            .unwrap();
+        assert!(plan.diagnostics.is_clean());
+        let delta = phase_counters::snapshot().since(&before);
+        assert_eq!(delta.sanitize, 0);
+    }
+
+    #[test]
+    fn lint_gate_denies_plan_routed_over_dead_resource() {
+        use rescc_topology::{NicId, TopologyHealth};
+        // Mask a NIC direction on a single-NIC topology: the router has no
+        // healthy alternative and falls back to the dead resource, which
+        // RA005 must catch and the deny gate must refuse.
+        let healthy = Topology::a100(2, 2);
+        let nic = healthy.nic_tx(NicId::new(0));
+        let mut mask = TopologyHealth::healthy();
+        mask.mask(nic);
+        let degraded = Topology::a100(2, 2).with_health(mask);
+        let spec = hm_allreduce(2, 2);
+        match Compiler::new().compile_spec(&spec, &degraded) {
+            Err(e) => assert!(e.to_string().contains("RA005"), "{e}"),
+            // If the router found a healthy reroute the plan is sound and
+            // the gate rightly lets it through.
+            Ok(plan) => assert!(plan.diagnostics.is_clean()),
+        }
+        // Warn gate always yields a plan, carrying whatever was found.
+        let plan = Compiler::new()
+            .with_lint_gate(LintGate::Warn)
+            .compile_spec(&spec, &degraded)
+            .unwrap();
+        let _ = plan.diagnostics.render_human();
     }
 
     #[test]

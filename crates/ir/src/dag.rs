@@ -20,6 +20,7 @@ use crate::error::{IrError, Result};
 use crate::task::{Task, TaskId};
 use rescc_lang::AlgoSpec;
 use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// The dependency DAG for one algorithm on one topology.
@@ -139,9 +140,12 @@ impl DepDag {
         for t in &tasks {
             for r in t.conflict.iter() {
                 by_resource.entry(r).or_default().push(t.id);
-                conflict_limit
-                    .entry(r)
-                    .or_insert_with(|| topo.resource_params(r).saturation_tbs.max(1));
+                if let Entry::Vacant(slot) = conflict_limit.entry(r) {
+                    let params = topo
+                        .resource_params(r)
+                        .map_err(|e| IrError::new(e.to_string()))?;
+                    slot.insert(params.saturation_tbs.max(1));
+                }
             }
         }
 

@@ -22,6 +22,7 @@
 //! assert!(dag.topo_order().is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dag;

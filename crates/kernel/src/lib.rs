@@ -30,6 +30,7 @@
 //! assert!(cuda.contains("__global__ void resccl_kernel_r0"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codegen;

@@ -28,6 +28,7 @@
 //! assert_eq!(spec.transfers().len(), 12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ast;

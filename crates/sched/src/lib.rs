@@ -22,6 +22,7 @@
 //! schedule.validate(&dag).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analytic;

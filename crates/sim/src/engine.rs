@@ -234,17 +234,21 @@ impl<'a> Engine<'a> {
 
         // Resources with degradation applied.
         let mut resources: Vec<ResState> = (0..topo.n_resources())
-            .map(|r| ResState {
-                params: topo.resource_params(ResourceId::new(r)),
-                load: 0,
-                active_since: 0.0,
-                active_ns: 0.0,
-                bytes: 0,
-                draining: Vec::new(),
-                up: true,
-                factor: 1.0,
+            .map(|r| {
+                Ok(ResState {
+                    params: topo
+                        .resource_params(ResourceId::new(r))
+                        .map_err(|e| SimError::new(e.to_string()))?,
+                    load: 0,
+                    active_since: 0.0,
+                    active_ns: 0.0,
+                    bytes: 0,
+                    draining: Vec::new(),
+                    up: true,
+                    factor: 1.0,
+                })
             })
-            .collect();
+            .collect::<SimResult<_>>()?;
         for (res, factor) in &config.degraded {
             let p = &mut resources[res.index()].params;
             // Degrade capacity: stretch β and shrink the per-TB rate.
@@ -272,10 +276,9 @@ impl<'a> Engine<'a> {
                     LoopOrder::SlotMajor => {
                         let mut segments: Vec<(u32, u32)> = Vec::new();
                         for (si, slot) in tb_prog.slots.iter().enumerate() {
-                            if slot.fused_with_prev && !segments.is_empty() {
-                                segments.last_mut().expect("nonempty").1 += 1;
-                            } else {
-                                segments.push((si as u32, 1));
+                            match segments.last_mut() {
+                                Some(last) if slot.fused_with_prev => last.1 += 1,
+                                _ => segments.push((si as u32, 1)),
                             }
                         }
                         for (first_slot, len) in segments {
@@ -293,10 +296,9 @@ impl<'a> Engine<'a> {
                         // issue together as one recvCopySend.
                         let mut segments: Vec<(u32, u32)> = Vec::new();
                         for (si, slot) in tb_prog.slots.iter().enumerate() {
-                            if slot.fused_with_prev && !segments.is_empty() {
-                                segments.last_mut().expect("nonempty").1 += 1;
-                            } else {
-                                segments.push((si as u32, 1));
+                            match segments.last_mut() {
+                                Some(last) if slot.fused_with_prev => last.1 += 1,
+                                _ => segments.push((si as u32, 1)),
                             }
                         }
                         for k in 0..window {
@@ -854,12 +856,22 @@ impl<'a> Engine<'a> {
             if rs.load == 0 {
                 rs.active_ns += now - rs.active_since;
             }
-            let posn = rs
-                .draining
-                .iter()
-                .position(|&o| o == x)
-                .expect("transfer registered on its path");
-            rs.draining.swap_remove(posn);
+            match rs.draining.iter().position(|&o| o == x) {
+                Some(posn) => {
+                    rs.draining.swap_remove(posn);
+                }
+                // A transfer missing from its own path's drain list means
+                // the engine's bookkeeping is inconsistent; surface a
+                // typed fatal error instead of poisoning the run with a
+                // panic (the event loop aborts on `fatal`).
+                None => {
+                    self.fatal.get_or_insert(SimError::new(format!(
+                        "engine bug: transfer of task {task} (mb {mb}) not \
+                         registered on resource {r} it drains"
+                    )));
+                    return;
+                }
+            }
             for &other in &rs.draining {
                 if !affected.contains(&other) {
                     affected.push(other);

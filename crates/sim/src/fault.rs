@@ -179,6 +179,21 @@ impl FaultTimeline {
         last.is_some_and(|(_, _, down)| down)
     }
 
+    /// Every resource the timeline kills for good — the set a recovery
+    /// layer will end up masking if it replays the whole schedule. Sorted
+    /// ascending, deduplicated.
+    pub fn permanent_dead(&self) -> Vec<ResourceId> {
+        let mut dead: Vec<ResourceId> = self
+            .events
+            .iter()
+            .filter_map(|e| e.fault.resource())
+            .filter(|&r| self.is_permanent_down(r))
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
     /// Check every transition against the cluster dimensions; the engine
     /// calls this before running.
     pub fn validate(&self, n_resources: u32, n_ranks: u32) -> Result<(), String> {
@@ -279,6 +294,20 @@ mod tests {
             .kill(r, 7.0)
             .flap(r, 9.0, 1.0, 1.0, 1)
             .is_permanent_down(r));
+    }
+
+    #[test]
+    fn permanent_dead_collects_unrecovered_resources() {
+        let a = ResourceId::new(2);
+        let b = ResourceId::new(5);
+        let c = ResourceId::new(9);
+        let tl = FaultTimeline::new()
+            .kill(b, 50.0)
+            .kill(a, 10.0)
+            .flap(c, 0.0, 5.0, 5.0, 2) // recovers
+            .brownout(a, 60.0, 0.5, 10.0); // brownout does not revive
+        assert_eq!(tl.permanent_dead(), vec![a, b]);
+        assert!(FaultTimeline::new().permanent_dead().is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! assert!(report.completion_ns > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

@@ -28,7 +28,8 @@ use crate::resset::ResourceSet;
 use serde::{Deserialize, Serialize};
 
 /// Error produced when constructing a topology from an invalid preset
-/// selector (e.g. a Table 3 index outside 1..=4).
+/// selector (e.g. a Table 3 index outside 1..=4) or when decoding an
+/// identifier that does not belong to the topology.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TopologyError {
     /// The requested preset does not exist.
@@ -40,6 +41,15 @@ pub enum TopologyError {
         /// The valid selectors.
         expected: &'static str,
     },
+    /// A resource id beyond the topology's resource space.
+    ResourceOutOfRange {
+        /// The raw resource index the caller passed.
+        resource: u32,
+        /// The topology's resource count (valid ids are `0..n_resources`).
+        n_resources: u32,
+        /// The topology's name, for context.
+        topology: String,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -50,6 +60,15 @@ impl std::fmt::Display for TopologyError {
                 got,
                 expected,
             } => write!(f, "unknown {what} {got} (expected {expected})"),
+            Self::ResourceOutOfRange {
+                resource,
+                n_resources,
+                topology,
+            } => write!(
+                f,
+                "resource res{resource} out of range for topology {topology} \
+                 ({n_resources} resources)"
+            ),
         }
     }
 }
@@ -376,18 +395,22 @@ impl Topology {
     }
 
     /// Decode a resource id back to its meaning.
-    pub fn resource_kind(&self, res: ResourceId) -> ResourceKind {
+    ///
+    /// Errors with [`TopologyError::ResourceOutOfRange`] when `res` lies
+    /// beyond this topology's resource space — which happens in practice
+    /// when a caller mixes ids across topologies of different shapes.
+    pub fn resource_kind(&self, res: ResourceId) -> Result<ResourceKind, TopologyError> {
         let n = self.n_ranks();
         let nics = self.n_nics();
         let pair_base = 2 * n + 2 * nics;
         if res.0 < n {
-            ResourceKind::GpuTx(Rank::new(res.0))
+            Ok(ResourceKind::GpuTx(Rank::new(res.0)))
         } else if res.0 < 2 * n {
-            ResourceKind::GpuRx(Rank::new(res.0 - n))
+            Ok(ResourceKind::GpuRx(Rank::new(res.0 - n)))
         } else if res.0 < 2 * n + nics {
-            ResourceKind::NicTx(NicId::new(res.0 - 2 * n))
+            Ok(ResourceKind::NicTx(NicId::new(res.0 - 2 * n)))
         } else if res.0 < pair_base {
-            ResourceKind::NicRx(NicId::new(res.0 - 2 * n - nics))
+            Ok(ResourceKind::NicRx(NicId::new(res.0 - 2 * n - nics)))
         } else if res.0 < self.n_resources() {
             let g = self.spec.gpus_per_node;
             let idx = res.0 - pair_base;
@@ -396,19 +419,29 @@ impl Topology {
             let ls = slot / (g - 1);
             let rem = slot % (g - 1);
             let ld = if rem < ls { rem } else { rem + 1 };
-            ResourceKind::PairChan(Rank::new(node * g + ls), Rank::new(node * g + ld))
+            Ok(ResourceKind::PairChan(
+                Rank::new(node * g + ls),
+                Rank::new(node * g + ld),
+            ))
         } else {
-            panic!("resource {res} out of range for topology {}", self.name)
+            Err(TopologyError::ResourceOutOfRange {
+                resource: res.0,
+                n_resources: self.n_resources(),
+                topology: self.name.clone(),
+            })
         }
     }
 
     /// Cost parameters of a resource.
-    pub fn resource_params(&self, res: ResourceId) -> LinkParams {
-        match self.resource_kind(res) {
+    ///
+    /// Errors when `res` is outside this topology (see
+    /// [`Topology::resource_kind`]).
+    pub fn resource_params(&self, res: ResourceId) -> Result<LinkParams, TopologyError> {
+        Ok(match self.resource_kind(res)? {
             ResourceKind::GpuTx(_) | ResourceKind::GpuRx(_) => self.fabric.port,
             ResourceKind::NicTx(_) | ResourceKind::NicRx(_) => self.fabric.inter,
             ResourceKind::PairChan(_, _) => self.fabric.intra,
-        }
+        })
     }
 
     /// Dense connection id for an ordered pair.
@@ -566,7 +599,7 @@ mod tests {
         assert_eq!(c.kind, PathKind::Intra);
         assert_eq!(c.conflict.len(), 1);
         assert_eq!(
-            t.resource_kind(c.conflict.as_slice()[0]),
+            t.resource_kind(c.conflict.as_slice()[0]).unwrap(),
             ResourceKind::PairChan(Rank::new(0), Rank::new(3))
         );
         // Path additionally traverses the GPU ports.
@@ -580,11 +613,11 @@ mod tests {
         let c = t.connection(Rank::new(0), Rank::new(8));
         assert_eq!(c.kind, PathKind::Inter { cross_rack: false });
         assert!(matches!(
-            t.resource_kind(c.conflict.as_slice()[0]),
+            t.resource_kind(c.conflict.as_slice()[0]).unwrap(),
             ResourceKind::NicTx(_)
         ));
         assert!(matches!(
-            t.resource_kind(c.conflict.as_slice()[1]),
+            t.resource_kind(c.conflict.as_slice()[1]).unwrap(),
             ResourceKind::NicRx(_)
         ));
     }
@@ -639,7 +672,7 @@ mod tests {
     fn resource_ids_decode() {
         let t = topo2();
         for r in 0..t.n_resources() {
-            match t.resource_kind(ResourceId::new(r)) {
+            match t.resource_kind(ResourceId::new(r)).unwrap() {
                 ResourceKind::GpuTx(g) => assert_eq!(t.gpu_tx(g).0, r),
                 ResourceKind::GpuRx(g) => assert_eq!(t.gpu_rx(g).0, r),
                 ResourceKind::NicTx(n) => assert_eq!(t.nic_tx(n).0, r),
@@ -647,6 +680,20 @@ mod tests {
                 ResourceKind::PairChan(a, b) => assert_eq!(t.pair_chan(a, b).0, r),
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_resource_is_a_typed_error() {
+        let t = topo2();
+        let bad = ResourceId::new(t.n_resources());
+        let err = t.resource_kind(bad).unwrap_err();
+        assert!(matches!(err, TopologyError::ResourceOutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(t.resource_params(bad).is_err());
+        // The last valid id still decodes.
+        assert!(t
+            .resource_kind(ResourceId::new(t.n_resources() - 1))
+            .is_ok());
     }
 
     #[test]
@@ -734,7 +781,7 @@ mod tests {
                 prop_assert!(t.interferes(pa, pa));
                 // Every resource id decodes and re-encodes.
                 for r in 0..t.n_resources() {
-                    match t.resource_kind(ResourceId::new(r)) {
+                    match t.resource_kind(ResourceId::new(r)).unwrap() {
                         ResourceKind::GpuTx(x) => prop_assert_eq!(t.gpu_tx(x).0, r),
                         ResourceKind::GpuRx(x) => prop_assert_eq!(t.gpu_rx(x).0, r),
                         ResourceKind::NicTx(x) => prop_assert_eq!(t.nic_tx(x).0, r),

@@ -18,6 +18,7 @@
 //! assert!((conn.params.bandwidth() - 25.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;

@@ -18,6 +18,7 @@
 //! println!("{:.1} samples/s", report.samples_per_s);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod model;

@@ -22,7 +22,10 @@ fn main() {
     let buffer = 128u64 << 20;
 
     let describe = |topo: &Topology, res: u32| -> String {
-        match topo.resource_kind(rescc::topology::ResourceId::new(res)) {
+        match topo
+            .resource_kind(rescc::topology::ResourceId::new(res))
+            .expect("resource id taken from this topology")
+        {
             ResourceKind::GpuTx(r) => format!("NVLink egress of {r}"),
             ResourceKind::GpuRx(r) => format!("NVLink ingress of {r}"),
             ResourceKind::NicTx(n) => format!("NIC {n} transmit"),

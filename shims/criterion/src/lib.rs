@@ -6,6 +6,8 @@
 //! Reports mean per-iteration wall time (and element throughput when set)
 //! to stdout; no statistical analysis, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 

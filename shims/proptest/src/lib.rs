@@ -8,6 +8,8 @@
 //! generated inputs verbatim. Case generation is deterministic per test
 //! name, so failures reproduce exactly across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Why a test case did not pass.
     #[derive(Debug, Clone)]

@@ -4,6 +4,8 @@
 //! of the SplitMix64/xoshiro256** generators, which are statistically
 //! solid for simulation jitter and fully deterministic per seed.
 
+#![forbid(unsafe_code)]
+
 /// Seedable generators.
 pub trait SeedableRng: Sized {
     /// Create a generator from a 64-bit seed.

@@ -6,6 +6,8 @@
 //! types advertise intent and the real serde can be dropped in unchanged
 //! once a registry is reachable.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize` (no methods in the shim).

@@ -3,6 +3,8 @@
 //! types so downstream users can persist them, but nothing in-tree
 //! serializes through serde — the derives expand to nothing here.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.

@@ -29,6 +29,7 @@
 //!     report.algo_bandwidth_gbps(256 << 20), plan.total_tbs());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Cluster topology and the α–β–γ link cost model.
@@ -59,6 +60,11 @@ pub mod alloc {
 /// Kernel program representation and pseudo-CUDA codegen.
 pub mod kernel {
     pub use rescc_kernel::*;
+}
+
+/// Cross-phase static analysis (lints RA001–RA005) over compiled plans.
+pub mod analyze {
+    pub use rescc_analyze::*;
 }
 
 /// The deterministic discrete-event cluster simulator.
