@@ -19,6 +19,7 @@ use rescc_algos::{
 use rescc_core::{plan_fingerprint, CacheStats, Compiler, PlanCache};
 use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, OpType};
+use rescc_obs::ObsStats;
 use rescc_sim::{FaultTimeline, SimConfig, SimError, SimResult};
 use rescc_topology::{ResourceId, Topology, TopologyHealth};
 use std::collections::HashMap;
@@ -92,6 +93,9 @@ pub struct Communicator {
     /// Validate collective data in the simulator (off by default, matching
     /// the dispatch path's large-sweep configuration).
     validate: bool,
+    /// Collect cross-layer observability: compile-phase and watchdog
+    /// spans on [`RunReport::obs`], bubble attribution on the sim report.
+    observe: bool,
 }
 
 impl Communicator {
@@ -107,6 +111,7 @@ impl Communicator {
             policy: FaultPolicy::default(),
             health: TopologyHealth::healthy(),
             validate: false,
+            observe: false,
         }
     }
 
@@ -133,6 +138,18 @@ impl Communicator {
     /// Enable machine-checked data validation on every collective.
     pub fn with_validation(mut self) -> Self {
         self.validate = true;
+        self
+    }
+
+    /// Collect cross-layer observability on every collective: compiler
+    /// phase spans, cache hit/miss events and watchdog recovery spans
+    /// ride on [`RunReport::obs`]; the simulator runs with a transfer
+    /// trace and bubble attribution
+    /// ([`SimReport::obs`](rescc_sim::SimReport)). Off by default — the
+    /// wall-clock compile spans make observed reports nondeterministic,
+    /// so replay-comparison consumers must not enable this.
+    pub fn with_observability(mut self) -> Self {
+        self.observe = true;
         self
     }
 
@@ -210,6 +227,10 @@ impl Communicator {
         let engaged =
             !self.faults.is_empty() || self.policy.deadline_ns.is_some() || !self.health.is_empty();
         let mut stats = RecoveryStats::default();
+        let mut obs = self.observe.then(ObsStats::default);
+        // Wall-clock offset on the compiler track where the next
+        // compile's phase spans start (successive recompiles stack).
+        let mut compile_at = 0.0f64;
         // Sim time burned by failed attempts + backoff so far. Each retry
         // replays the fault timeline shifted into the past by this much,
         // so a flap that already passed stays passed.
@@ -220,6 +241,29 @@ impl Communicator {
                 .cache
                 .get_or_compile(&self.compiler, &spec, &topo, &mb)?;
             let fingerprint = plan_fingerprint(&self.compiler, &spec, &topo, &mb);
+            if let Some(o) = obs.as_mut() {
+                // The dispatch above journaled exactly one cache event
+                // (the communicator issues collectives serially).
+                let ev = *self.cache.journal().last().expect("dispatch was journaled");
+                o.spans.push(rescc_obs::Span::new(
+                    "cache",
+                    format!(
+                        "{} {:016x}",
+                        if ev.hit { "hit" } else { "miss" },
+                        ev.fingerprint
+                    ),
+                    rescc_obs::SpanCategory::Cache,
+                    rescc_obs::TimeDomain::Wall,
+                    compile_at,
+                    0.0,
+                ));
+                if ev.hit {
+                    o.cache_hits += 1;
+                } else {
+                    o.cache_misses += 1;
+                    compile_at = o.add_compile(&plan.timings, "compiler", compile_at);
+                }
+            }
             // Every post-fault recompile is analyzed before the collective
             // resumes: the compiler's sanitize phase already ran (the
             // communicator's gate is deny), and RA005 specifically proves
@@ -243,6 +287,9 @@ impl Communicator {
             if let Some(d) = self.policy.deadline_ns {
                 cfg = cfg.with_deadline_ns(d);
             }
+            if self.observe {
+                cfg = cfg.with_trace().with_observability();
+            }
             match plan.run_with(buffer_bytes, chunk, &cfg) {
                 Ok(sim) => {
                     stats.recovery_ns = elapsed;
@@ -258,6 +305,7 @@ impl Communicator {
                         sim,
                         cache: Some(self.cache.stats()),
                         recovery: engaged.then_some(stats),
+                        obs,
                     });
                 }
                 Err(err) if err.is_transient() => {
@@ -270,7 +318,12 @@ impl Communicator {
                         SimError::DeadlineExceeded { deadline_ns, .. } => *deadline_ns as f64,
                         _ => 0.0,
                     };
-                    elapsed += failed_at + self.policy.backoff_ns(stats.retries);
+                    let backoff = self.policy.backoff_ns(stats.retries);
+                    if let Some(o) = obs.as_mut() {
+                        o.add_retry(stats.retries as u64, elapsed, failed_at);
+                        o.add_backoff(elapsed + failed_at, backoff);
+                    }
+                    elapsed += failed_at + backoff;
                 }
                 Err(SimError::ResourceDown {
                     resource,
@@ -291,6 +344,9 @@ impl Communicator {
                             at_ns,
                             permanent: true,
                         });
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        o.add_recompile(elapsed + at_ns as f64, self.policy.backoff_base_ns);
                     }
                     elapsed += at_ns as f64 + self.policy.backoff_base_ns;
                 }
@@ -432,6 +488,87 @@ mod tests {
         let rep = comm.all_reduce(64 * MB).unwrap();
         let rec = rep.recovery.expect("deadline engages the watchdog");
         assert_eq!(rec.retries, 0);
+    }
+
+    #[test]
+    fn observability_is_off_by_default() {
+        let mut comm = Communicator::new(Topology::a100(2, 4));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.obs, None);
+        assert_eq!(rep.sim.obs, None);
+        assert!(rep.sim.trace.is_empty());
+    }
+
+    #[test]
+    fn observability_collects_compile_cache_and_watchdog_spans() {
+        use rescc_obs::SpanCategory;
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let mut comm = Communicator::new(topo)
+            .with_observability()
+            .with_faults(FaultTimeline::new().flap(chan, 50_000.0, 80_000.0, 80_000.0, 1));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        let obs = rep.obs.as_ref().expect("observability enabled");
+        // First dispatch compiles; phase spans rode along.
+        assert_eq!(obs.cache_misses, 1);
+        assert!(obs.compile_total_ns() > 0.0);
+        assert!(obs
+            .spans
+            .iter()
+            .any(|s| s.category == SpanCategory::Compile));
+        assert!(obs.spans.iter().any(|s| s.category == SpanCategory::Cache));
+        // The flap forced at least one retry; watchdog spans and counters
+        // agree with the recovery accounting.
+        let rec = rep.recovery.as_ref().expect("watchdog engaged");
+        assert_eq!(obs.retries, rec.retries as u64);
+        assert!(obs.retries >= 1);
+        assert!(obs.backoff_ns > 0.0);
+        assert!(obs
+            .spans
+            .iter()
+            .any(|s| s.category == SpanCategory::Recovery && s.name == "backoff"));
+        // The simulator ran with trace + bubble attribution.
+        assert!(rep.sim.obs.is_some());
+        assert!(!rep.sim.trace.is_empty());
+        // A second identical call hits the cache (once per attempt — the
+        // flap timeline re-fires, so the retry dispatches again): no new
+        // compile time.
+        let rep2 = comm.all_reduce(64 * MB).unwrap();
+        let obs2 = rep2.obs.as_ref().unwrap();
+        assert!(obs2.cache_hits >= 1);
+        assert_eq!(obs2.cache_misses, 0);
+        assert_eq!(obs2.compile_total_ns(), 0.0);
+    }
+
+    #[test]
+    fn observability_stacks_recompile_spans() {
+        use rescc_obs::SpanCategory;
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let mut comm = Communicator::new(topo)
+            .with_observability()
+            .with_faults(FaultTimeline::new().kill(chan, 100_000.0));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        let obs = rep.obs.as_ref().unwrap();
+        let rec = rep.recovery.as_ref().unwrap();
+        assert!(rec.recompiles >= 1);
+        assert_eq!(obs.recompiles, rec.recompiles as u64);
+        // One compile per miss: healthy plan + degraded plan.
+        assert_eq!(obs.cache_misses, 2);
+        assert!(obs
+            .spans
+            .iter()
+            .any(|s| s.category == SpanCategory::Recovery && s.name == "mask+recompile"));
+        // Compile spans from the two compiles stack without overlap.
+        let mut compile_spans: Vec<_> = obs
+            .spans
+            .iter()
+            .filter(|s| s.category == SpanCategory::Compile)
+            .collect();
+        compile_spans.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        for w in compile_spans.windows(2) {
+            assert!(w[0].end_ns() <= w[1].start_ns + 1e-6);
+        }
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub struct RunReport {
     /// [`Communicator`] with faults or a deadline engaged; `None` for
     /// plain healthy-fabric runs.
     pub recovery: Option<RecoveryStats>,
+    /// Cross-layer spans and counters (compiler phases, cache traffic,
+    /// watchdog activity) when the call went through the
+    /// [`Communicator`] with
+    /// [`with_observability`](Communicator::with_observability); `None`
+    /// otherwise. Wall-time spans make this field nondeterministic, so
+    /// replay-stable consumers must leave observability off.
+    pub obs: Option<rescc_obs::ObsStats>,
 }
 
 impl RunReport {
@@ -150,6 +157,7 @@ fn finish(
         sim,
         cache: None,
         recovery: None,
+        obs: None,
     }
 }
 

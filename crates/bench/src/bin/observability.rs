@@ -1,0 +1,5 @@
+//! Standalone runner for the observability overhead experiment.
+
+fn main() {
+    rescc_bench::experiments::observability::run();
+}

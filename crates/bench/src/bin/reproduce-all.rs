@@ -21,6 +21,8 @@ fn main() {
     ex::ablation::run();
     ex::analytic::run();
     ex::recovery::run();
+    ex::simbench::run();
+    ex::observability::run();
     println!(
         "\nreproduce-all finished in {:.1}s",
         t0.elapsed().as_secs_f64()

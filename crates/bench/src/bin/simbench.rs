@@ -1,0 +1,5 @@
+//! Standalone runner for the simulator wall-time benchmark.
+
+fn main() {
+    rescc_bench::experiments::simbench::run();
+}

@@ -13,6 +13,8 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod observability;
 pub mod recovery;
+pub mod simbench;
 pub mod table1;
 pub mod table3;

@@ -56,6 +56,22 @@ impl CacheStats {
     }
 }
 
+/// One recorded cache lookup, in dispatch order.
+///
+/// The journal is the cache's event log for observability consumers: a
+/// deterministic record of which fingerprints were dispatched and
+/// whether each dispatch compiled, independent of wall-clock timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Position in dispatch order (0-based; assigned under the journal
+    /// lock, so concurrent dispatches get distinct consecutive numbers).
+    pub seq: u64,
+    /// The plan fingerprint that was looked up.
+    pub fingerprint: u64,
+    /// Whether the lookup was served from the cache.
+    pub hit: bool,
+}
+
 /// A thread-safe memo table from plan fingerprints to compiled plans.
 ///
 /// ```
@@ -80,6 +96,7 @@ pub struct PlanCache {
     map: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    journal: Mutex<Vec<CacheEvent>>,
 }
 
 impl PlanCache {
@@ -112,12 +129,39 @@ impl PlanCache {
         let key = plan_fingerprint(compiler, spec, topo, mb);
         if let Some(hit) = self.map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record(key, true);
             return Ok(Arc::clone(hit));
         }
         let compiled = Arc::new(compiler.compile_spec(spec, topo)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.map().insert(key, Arc::clone(&compiled));
+        self.record(key, false);
         Ok(compiled)
+    }
+
+    fn record(&self, fingerprint: u64, hit: bool) {
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = journal.len() as u64;
+        journal.push(CacheEvent {
+            seq,
+            fingerprint,
+            hit,
+        });
+    }
+
+    /// Snapshot of the dispatch journal (one [`CacheEvent`] per
+    /// [`get_or_compile`](Self::get_or_compile) call, in dispatch order).
+    pub fn journal(&self) -> Vec<CacheEvent> {
+        self.journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of journaled dispatches so far (cheaper than cloning the
+    /// journal when a caller only needs a baseline for a later delta).
+    pub fn journal_len(&self) -> usize {
+        self.journal.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Dispatches served from the cache so far.
@@ -363,6 +407,41 @@ mod tests {
         assert_eq!(
             plan_fingerprint(&compiler, &spec, &healthy, &plan),
             plan_fingerprint(&compiler, &spec, &empty, &plan)
+        );
+    }
+
+    #[test]
+    fn journal_records_dispatches_in_order() {
+        let cache = PlanCache::new();
+        let compiler = Compiler::new();
+        let topo = Topology::a100(2, 4);
+        let spec = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, spec.n_chunks());
+        assert_eq!(cache.journal_len(), 0);
+        cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        let journal = cache.journal();
+        assert_eq!(journal.len(), 2);
+        let fp = plan_fingerprint(&compiler, &spec, &topo, &plan);
+        assert_eq!(
+            journal[0],
+            CacheEvent {
+                seq: 0,
+                fingerprint: fp,
+                hit: false
+            }
+        );
+        assert_eq!(
+            journal[1],
+            CacheEvent {
+                seq: 1,
+                fingerprint: fp,
+                hit: true
+            }
         );
     }
 

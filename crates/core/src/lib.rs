@@ -35,7 +35,7 @@
 
 mod cache;
 
-pub use cache::{plan_fingerprint, CacheStats, PlanCache};
+pub use cache::{plan_fingerprint, CacheEvent, CacheStats, PlanCache};
 
 use rescc_alloc::TbAllocation;
 use rescc_analyze::{analyze, AnalysisConfig, AnalysisInput, AnalysisReport};
@@ -142,6 +142,18 @@ impl PhaseTimings {
     /// End-to-end compile time.
     pub fn total(&self) -> Duration {
         self.parsing + self.analysis + self.scheduling + self.lowering + self.sanitize
+    }
+
+    /// The phases in pipeline order with their stable names, for
+    /// observability consumers that render one span per phase.
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("parsing", self.parsing),
+            ("analysis", self.analysis),
+            ("scheduling", self.scheduling),
+            ("lowering", self.lowering),
+            ("sanitize", self.sanitize),
+        ]
     }
 }
 

@@ -1,0 +1,50 @@
+//! Validate a Chrome trace-event JSON file emitted by `rescc-profile`.
+//!
+//! Usage: `rescc-obs-validate <trace.json> [more.json ...]`
+//!
+//! Exit code 0 when every file parses and obeys the trace-event
+//! invariants (known phases, non-negative integer pid/tid, finite
+//! non-negative ts/dur, sorted timestamps); 1 otherwise. Used by the CI
+//! observability job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: rescc-obs-validate <trace.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+            }
+            Ok(text) => match rescc_obs::validate_chrome_trace_str(&text) {
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+                Ok(s) => {
+                    println!(
+                        "{path}: OK — {} events ({} spans, {} instants, {} counters) \
+                         on {} tracks, {:.3} ms span",
+                        s.total_events(),
+                        s.complete,
+                        s.instants,
+                        s.counters,
+                        s.tracks,
+                        s.max_ts_us / 1e3,
+                    );
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

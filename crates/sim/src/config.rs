@@ -39,6 +39,14 @@ pub struct SimConfig {
     /// Record a per-transfer [`TraceEvent`](crate::TraceEvent) timeline in
     /// the report (costs memory proportional to invocations).
     pub record_trace: bool,
+    /// Classify every TB idle interval by cause and attach a
+    /// [`SimObservability`](crate::SimObservability) payload to the
+    /// report. Attribution is read-only instrumentation: all other report
+    /// fields are bit-identical to a run without it.
+    pub attribute_bubbles: bool,
+    /// Number of buckets for the per-TB / per-link timelines recorded
+    /// under [`attribute_bubbles`](Self::attribute_bubbles).
+    pub obs_buckets: u32,
 }
 
 impl Default for SimConfig {
@@ -53,6 +61,8 @@ impl Default for SimConfig {
             deadline_ns: None,
             max_invocations: 200_000_000,
             record_trace: false,
+            attribute_bubbles: false,
+            obs_buckets: 64,
         }
     }
 }
@@ -108,6 +118,20 @@ impl SimConfig {
         self
     }
 
+    /// Enable bubble attribution (classified idle intervals plus bucketed
+    /// per-TB / per-link timelines in the report).
+    pub fn with_observability(mut self) -> Self {
+        self.attribute_bubbles = true;
+        self
+    }
+
+    /// Override the timeline bucket count used under
+    /// [`with_observability`](Self::with_observability).
+    pub fn with_obs_buckets(mut self, buckets: u32) -> Self {
+        self.obs_buckets = buckets;
+        self
+    }
+
     /// Check the configuration against the cluster dimensions. Called by
     /// the engine before any event is processed, so invalid inputs surface
     /// as a typed error at `run_with` time instead of silently producing
@@ -137,6 +161,11 @@ impl SimConfig {
                     "deadline {d}ns is not a positive time"
                 )));
             }
+        }
+        if self.attribute_bubbles && self.obs_buckets == 0 {
+            return Err(SimError::InvalidConfig(
+                "bubble attribution needs at least one timeline bucket".into(),
+            ));
         }
         self.faults
             .validate(n_resources, n_ranks)
@@ -182,6 +211,23 @@ mod tests {
             .validate(8, 4)
             .unwrap_err();
         assert!(matches!(oor, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn observability_needs_buckets() {
+        let cfg = SimConfig::default()
+            .with_observability()
+            .with_obs_buckets(0);
+        assert!(cfg.validate(8, 4).is_err());
+        // Zero buckets is only a problem when attribution is on.
+        assert!(SimConfig::default()
+            .with_obs_buckets(0)
+            .validate(8, 4)
+            .is_ok());
+        assert!(SimConfig::default()
+            .with_observability()
+            .validate(8, 4)
+            .is_ok());
     }
 
     #[test]

@@ -25,6 +25,9 @@ use crate::config::SimConfig;
 use crate::error::{SimError, SimResult};
 use crate::fault::{Fault, FaultEvent};
 use crate::metrics::{ResourceStat, SimReport, TbStat};
+use crate::obs::{
+    add_interval, BubbleCause, BubbleInterval, LinkTimeline, SimObservability, TbTimeline,
+};
 use crate::trace::{FaultRecord, TraceEvent};
 use crate::value::{expected_final, initial_value, ChunkValue};
 use rand::rngs::StdRng;
@@ -151,6 +154,31 @@ struct Transfer {
     pending_complete: bool,
 }
 
+/// A classified idle interval keyed by engine TB id (resolved to
+/// rank/tb when the report is built).
+struct RawBubble {
+    tb: u32,
+    task: u32,
+    mb: u32,
+    cause: BubbleCause,
+    start: f64,
+    end: f64,
+}
+
+/// Bubble-attribution accumulator, allocated only when
+/// [`SimConfig::attribute_bubbles`] is set so the hot path stays free of
+/// observability work otherwise. Recording is strictly read-only with
+/// respect to simulation state: enabling it cannot change any timing.
+#[derive(Default)]
+struct ObsAcc {
+    bubbles: Vec<RawBubble>,
+    /// Line-rate drain segments per TB: `(tb, drain_start, line_end)`.
+    xfer_segments: Vec<(u32, f64, f64)>,
+    /// Closed busy intervals per resource (openings mirror
+    /// `ResState::active_since`).
+    res_intervals: Vec<Vec<(f64, f64)>>,
+}
+
 struct ResState {
     params: LinkParams,
     load: u32,
@@ -206,6 +234,8 @@ struct Engine<'a> {
     straggle: Vec<f64>,
     /// A fault the run cannot survive; the event loop aborts on it.
     fatal: Option<SimError>,
+    /// Bubble attribution (None unless `config.attribute_bubbles`).
+    obs: Option<Box<ObsAcc>>,
 }
 
 impl<'a> Engine<'a> {
@@ -444,6 +474,12 @@ impl<'a> Engine<'a> {
             fault_log: Vec::new(),
             straggle: vec![1.0; n_ranks as usize],
             fatal: None,
+            obs: config.attribute_bubbles.then(|| {
+                Box::new(ObsAcc {
+                    res_intervals: vec![Vec::new(); topo.n_resources() as usize],
+                    ..ObsAcc::default()
+                })
+            }),
         })
     }
 
@@ -489,7 +525,17 @@ impl<'a> Engine<'a> {
         }
 
         while let Some(ev) = self.heap.pop() {
-            debug_assert!(ev.t >= self.now - 1e-6, "time went backwards");
+            // Monotonicity tolerance must scale with the clock: at f64 ns
+            // magnitudes a second-long run sits near 1e9, where rounding
+            // noise dwarfs any fixed absolute epsilon. Allow one part in
+            // 1e12 of the current time (≈1ms worth of ULPs at 1e9 ns),
+            // with a small absolute floor for clocks near zero.
+            debug_assert!(
+                ev.t >= self.now - 1e-9f64.max(self.now.abs() * 1e-12),
+                "time went backwards: event at {} ns behind clock {} ns",
+                ev.t,
+                self.now
+            );
             self.now = ev.t.max(self.now);
             match ev.kind {
                 EvKind::LatencyDone(x) => self.on_latency_done(x),
@@ -555,6 +601,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
         let total_bytes = self.transfers.iter().map(|t| t.bytes).sum();
+        let obs = self.obs.take().map(|acc| self.build_obs(*acc, completion));
 
         Ok(SimReport {
             completion_ns: completion,
@@ -566,7 +613,124 @@ impl<'a> Engine<'a> {
             n_invocations: self.inv_done,
             trace: self.trace,
             faults: self.fault_log,
+            obs,
         })
+    }
+
+    /// Resolve the raw attribution accumulator into the public payload:
+    /// map engine TB ids to (rank, tb), and bucketize the per-TB state
+    /// decomposition and per-link active intervals over the run.
+    fn build_obs(&self, acc: ObsAcc, completion: f64) -> SimObservability {
+        let n_buckets = self.config.obs_buckets.max(1);
+        let bucket_ns = if completion > 0.0 {
+            completion / n_buckets as f64
+        } else {
+            0.0
+        };
+        let mut tb_timelines: Vec<TbTimeline> = self
+            .tbs
+            .iter()
+            .map(|tb| TbTimeline {
+                rank: tb.rank,
+                tb: tb.tb,
+                transfer: vec![0.0; n_buckets as usize],
+                startup: vec![0.0; n_buckets as usize],
+                contention: vec![0.0; n_buckets as usize],
+                rendezvous: vec![0.0; n_buckets as usize],
+                dep_wait: vec![0.0; n_buckets as usize],
+            })
+            .collect();
+        for &(tb, s, e) in &acc.xfer_segments {
+            add_interval(&mut tb_timelines[tb as usize].transfer, bucket_ns, s, e);
+        }
+        let bubbles: Vec<BubbleInterval> = acc
+            .bubbles
+            .iter()
+            .map(|b| {
+                let tl = &mut tb_timelines[b.tb as usize];
+                let buf = match b.cause {
+                    BubbleCause::RendezvousWait => &mut tl.rendezvous,
+                    BubbleCause::DepWait => &mut tl.dep_wait,
+                    BubbleCause::LinkContention => &mut tl.contention,
+                    BubbleCause::Startup => &mut tl.startup,
+                };
+                add_interval(buf, bucket_ns, b.start, b.end);
+                let tb = &self.tbs[b.tb as usize];
+                BubbleInterval {
+                    tb_index: b.tb,
+                    rank: tb.rank,
+                    tb: tb.tb,
+                    task: b.task,
+                    mb: b.mb,
+                    cause: b.cause,
+                    start_ns: b.start,
+                    end_ns: b.end,
+                }
+            })
+            .collect();
+        // Link timelines mirror the `resource_stats` population (resources
+        // that carried traffic, in index order).
+        let link_timelines = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.bytes > 0)
+            .map(|(i, _)| {
+                let mut active = vec![0.0; n_buckets as usize];
+                for &(s, e) in &acc.res_intervals[i] {
+                    add_interval(&mut active, bucket_ns, s, e);
+                }
+                LinkTimeline {
+                    resource: i as u32,
+                    active,
+                }
+            })
+            .collect();
+        SimObservability {
+            n_buckets,
+            bucket_ns,
+            bubbles,
+            tb_timelines,
+            link_timelines,
+        }
+    }
+
+    /// Classify the wait `[arrival, now)` of one gating side of a starting
+    /// invocation. The portion before the peer's arrival is a rendezvous
+    /// wait; whatever remains after both sides are present was spent on
+    /// dependencies (DAG predecessors, barrier groups, or the cut-through
+    /// gate). The two pieces tile `[arrival, now)` exactly, so per-TB hard
+    /// bubbles reconcile with `sync_ns`.
+    fn record_wait(&mut self, tb: u32, arrival: f64, peer_arrival: f64, task: TaskId, mb: u32) {
+        let now = self.now;
+        if now <= arrival {
+            return;
+        }
+        let obs = self
+            .obs
+            .as_mut()
+            .expect("record_wait only when attributing");
+        let split = peer_arrival.clamp(arrival, now);
+        if split > arrival {
+            obs.bubbles.push(RawBubble {
+                tb,
+                task: task.0,
+                mb,
+                cause: BubbleCause::RendezvousWait,
+                start: arrival,
+                end: split,
+            });
+        }
+        if now > split {
+            obs.bubbles.push(RawBubble {
+                tb,
+                task: task.0,
+                mb,
+                cause: BubbleCause::DepWait,
+                start: split,
+                end: now,
+            });
+        }
     }
 
     /// Apply one scheduled fault transition to the live resource/rank
@@ -722,6 +886,14 @@ impl<'a> Engine<'a> {
             self.tbs[inv.send_tb as usize].sync += now - inv.send_arrival;
         }
         self.tbs[inv.recv_tb as usize].sync += now - inv.recv_arrival;
+        if self.obs.is_some() {
+            // Attribute exactly the intervals the sync accounting above
+            // charged, split by which gate resolved last.
+            if fp == NONE {
+                self.record_wait(inv.send_tb, inv.send_arrival, inv.recv_arrival, task, mb);
+            }
+            self.record_wait(inv.recv_tb, inv.recv_arrival, inv.send_arrival, task, mb);
+        }
 
         let t = self.dag.task(task);
         let bytes = self.plan.invocation_bytes(mb);
@@ -849,12 +1021,19 @@ impl<'a> Engine<'a> {
         // Free resources and settle peers.
         let path = self.dag.task(task).path;
         let mut affected: Vec<u32> = Vec::new();
+        let observing = self.obs.is_some();
+        // Busy intervals closed on this event ((resource, open time));
+        // stays unallocated unless attribution is on.
+        let mut closed: Vec<(usize, f64)> = Vec::new();
         for r in path.iter() {
             let rs = &mut self.resources[r.index()];
             rs.load -= 1;
             rs.bytes += bytes;
             if rs.load == 0 {
                 rs.active_ns += now - rs.active_since;
+                if observing {
+                    closed.push((r.index(), rs.active_since));
+                }
             }
             match rs.draining.iter().position(|&o| o == x) {
                 Some(posn) => {
@@ -879,6 +1058,11 @@ impl<'a> Engine<'a> {
             }
         }
         self.transfers[x as usize].draining = false;
+        if let Some(obs) = self.obs.as_mut() {
+            for (ri, since) in closed {
+                obs.res_intervals[ri].push((since, now));
+            }
+        }
         for other in affected {
             self.reproject(other);
         }
@@ -927,7 +1111,7 @@ impl<'a> Engine<'a> {
 
         if self.config.record_trace {
             let t = self.dag.task(task);
-            self.trace.push(TraceEvent {
+            let ev = TraceEvent {
                 task: task.0,
                 mb,
                 src: t.src.0,
@@ -936,7 +1120,20 @@ impl<'a> Engine<'a> {
                 drain_start_ns: self.transfers[x as usize].drain_start,
                 end_ns: now,
                 bytes,
-            });
+            };
+            debug_assert!(
+                ev.start_ns <= ev.drain_start_ns && ev.drain_start_ns <= ev.end_ns,
+                "trace event phases out of order: task {task} mb {mb} \
+                 start {} drain {} end {}",
+                ev.start_ns,
+                ev.drain_start_ns,
+                ev.end_ns
+            );
+            self.trace.push(ev);
+        }
+
+        if self.obs.is_some() {
+            self.record_soft_bubbles(x, task, mb, bytes, start, send_tb, recv_tb);
         }
 
         // Account busy time on both TBs.
@@ -1011,6 +1208,62 @@ impl<'a> Engine<'a> {
                     self.tb_arrive(tb_id);
                 }
             }
+        }
+    }
+
+    /// Attribute the soft (in-busy) bubbles of a completed invocation:
+    /// the startup-latency phase, plus any drain time beyond the lone-TB
+    /// ideal (`bytes / min over path of effective_bandwidth(1)`) — the
+    /// slowdown fair-sharing and the γ·L(z) over-saturation penalty of
+    /// Eq. 1 imposed. Both participating TBs experience the interval, so
+    /// both timelines carry it (mirroring the busy accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn record_soft_bubbles(
+        &mut self,
+        x: u32,
+        task: TaskId,
+        mb: u32,
+        bytes: u64,
+        start: f64,
+        send_tb: u32,
+        recv_tb: u32,
+    ) {
+        let now = self.now;
+        let drain_start = self.transfers[x as usize].drain_start;
+        let rate0 = self
+            .dag
+            .task(task)
+            .path
+            .iter()
+            .map(|r| self.resources[r.index()].params.effective_bandwidth(1))
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(rate0.is_finite() && rate0 > 0.0);
+        let line_end = (drain_start + bytes as f64 / rate0).min(now);
+        let obs = self.obs.as_mut().expect("checked by caller");
+        // A fused forward's sender side never blocked, but it does spend
+        // the transfer window busy — both sides get the same soft bubbles.
+        for tb in [send_tb, recv_tb] {
+            if drain_start > start {
+                obs.bubbles.push(RawBubble {
+                    tb,
+                    task: task.0,
+                    mb,
+                    cause: BubbleCause::Startup,
+                    start,
+                    end: drain_start,
+                });
+            }
+            if now > line_end {
+                obs.bubbles.push(RawBubble {
+                    tb,
+                    task: task.0,
+                    mb,
+                    cause: BubbleCause::LinkContention,
+                    start: line_end,
+                    end: now,
+                });
+            }
+            obs.xfer_segments.push((tb, drain_start, line_end));
         }
     }
 

@@ -46,6 +46,7 @@ mod engine;
 mod error;
 mod fault;
 mod metrics;
+mod obs;
 mod trace;
 mod value;
 
@@ -54,7 +55,10 @@ pub use engine::simulate;
 pub use error::{SimError, SimResult};
 pub use fault::{Fault, FaultEvent, FaultTimeline};
 pub use metrics::{ResourceStat, SimReport, TbStat};
-pub use trace::{render_gantt, BottleneckReport, FaultRecord, TraceEvent};
+pub use obs::{BubbleCause, BubbleInterval, LinkTimeline, SimObservability, TbTimeline};
+pub use trace::{
+    render_gantt, render_gantt_directed, BottleneckReport, FaultRecord, GanttDirection, TraceEvent,
+};
 pub use value::{expected_final, initial_value, ChunkValue};
 
 #[cfg(test)]

@@ -102,6 +102,9 @@ pub struct SimReport {
     pub trace: Vec<crate::TraceEvent>,
     /// Fault transitions applied during the run, in application order.
     pub faults: Vec<crate::FaultRecord>,
+    /// Bubble attribution payload (populated when
+    /// [`SimConfig::attribute_bubbles`](crate::SimConfig) is set).
+    pub obs: Option<crate::SimObservability>,
 }
 
 impl SimReport {
@@ -119,18 +122,33 @@ impl SimReport {
         self.tb_stats.iter().filter(|t| t.n_invocations > 0).count()
     }
 
-    /// Mean idle ratio across TBs that occupied SMs.
-    pub fn avg_idle_ratio(&self) -> f64 {
-        if self.tb_stats.is_empty() {
-            return 0.0;
-        }
-        self.tb_stats.iter().map(TbStat::idle_ratio).sum::<f64>() / self.tb_stats.len() as f64
+    /// TBs that actually occupied an SM for a non-zero window. Under
+    /// flexible (early) release a TB slot the plan never launches has
+    /// `occupancy_ns == 0` and `n_invocations == 0` — it held no SM and
+    /// must not count toward occupancy-weighted aggregates; under rigid
+    /// allocation every TB occupies its SM for the whole kernel and all
+    /// of them count.
+    fn occupied_tbs(&self) -> impl Iterator<Item = &TbStat> {
+        self.tb_stats.iter().filter(|t| t.occupancy_ns > 0.0)
     }
 
-    /// Worst TB idle ratio.
+    /// Mean idle ratio across TBs that occupied SMs. Never-launched TB
+    /// slots (`idle_ratio() == 1.0` with zero occupancy) are excluded so
+    /// they cannot inflate the Table-3 "avg idle" metric.
+    pub fn avg_idle_ratio(&self) -> f64 {
+        let (sum, n) = self
+            .occupied_tbs()
+            .fold((0.0f64, 0usize), |(s, n), t| (s + t.idle_ratio(), n + 1));
+        if n == 0 {
+            return 0.0;
+        }
+        sum / n as f64
+    }
+
+    /// Worst idle ratio across TBs that occupied SMs (same population as
+    /// [`avg_idle_ratio`](Self::avg_idle_ratio)).
     pub fn max_idle_ratio(&self) -> f64 {
-        self.tb_stats
-            .iter()
+        self.occupied_tbs()
             .map(TbStat::idle_ratio)
             .fold(0.0, f64::max)
     }
@@ -237,9 +255,43 @@ mod tests {
             n_invocations: 2,
             trace: Vec::new(),
             faults: Vec::new(),
+            obs: None,
         };
         assert!((rep.avg_idle_ratio() - 0.5).abs() < 1e-12);
         assert!((rep.max_idle_ratio() - 0.9).abs() < 1e-12);
         assert!((rep.algo_bandwidth_gbps(2000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_launched_tbs_do_not_inflate_idle_aggregates() {
+        // Regression: a TB slot the plan never launches (zero occupancy,
+        // zero invocations) scores idle_ratio() == 1.0 and used to dilute
+        // the average over *all* tb_stats. It holds no SM, so both
+        // aggregates must ignore it.
+        let working = TbStat {
+            busy_ns: 75.0,
+            sync_ns: 25.0,
+            occupancy_ns: 100.0,
+            release_ns: 100.0,
+            n_invocations: 4,
+            ..Default::default()
+        };
+        let never_launched = TbStat::default();
+        assert_eq!(never_launched.idle_ratio(), 1.0);
+        let rep = SimReport {
+            completion_ns: 100.0,
+            total_bytes: 100,
+            tb_stats: vec![working.clone(), never_launched],
+            resource_stats: vec![],
+            data_valid: None,
+            n_micro_batches: 1,
+            n_invocations: 4,
+            trace: Vec::new(),
+            faults: Vec::new(),
+            obs: None,
+        };
+        assert!((rep.avg_idle_ratio() - 0.25).abs() < 1e-12);
+        assert!((rep.max_idle_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(rep.active_tbs(), 1);
     }
 }

@@ -58,12 +58,37 @@ impl TraceEvent {
     }
 }
 
-/// Render a coarse text Gantt chart of sender activity per rank.
+/// Which endpoint's activity a Gantt chart credits to a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GanttDirection {
+    /// Sender activity only (`src` rank busy while its transfer runs).
+    Send,
+    /// Receiver activity only (`dst` rank busy while draining inbound).
+    Recv,
+    /// Both endpoints (a transfer occupies a TB on each side).
+    Both,
+}
+
+/// Render a coarse text Gantt chart of per-rank transfer activity.
 ///
 /// Each row is a rank; each column is a `width`-th of the run. A cell
-/// shows `#` when the rank was sending for more than half the column's
-/// span, `+` when sending at all, and `.` when idle.
+/// shows `#` when the rank was engaged in transfers for more than half
+/// the column's span, `+` when engaged at all, and `.` when idle. By
+/// default both endpoints are credited — a transfer occupies a TB on the
+/// sender *and* the receiver, so receiver ranks no longer render idle
+/// while draining inbound traffic. Use [`render_gantt_directed`] for a
+/// single-direction view.
 pub fn render_gantt(events: &[TraceEvent], n_ranks: u32, width: usize) -> String {
+    render_gantt_directed(events, n_ranks, width, GanttDirection::Both)
+}
+
+/// [`render_gantt`] with an explicit direction mode.
+pub fn render_gantt_directed(
+    events: &[TraceEvent],
+    n_ranks: u32,
+    width: usize,
+    dir: GanttDirection,
+) -> String {
     assert!(width >= 1);
     let end = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
     if end <= 0.0 {
@@ -79,7 +104,21 @@ pub fn render_gantt(events: &[TraceEvent], n_ranks: u32, width: usize) -> String
             let cs = c as f64 * col;
             let ce = cs + col;
             let overlap = (e.end_ns.min(ce) - e.start_ns.max(cs)).max(0.0);
-            busy[e.src as usize][c] += overlap;
+            for rank in [e.src, e.dst] {
+                let credit = match dir {
+                    GanttDirection::Send => rank == e.src,
+                    GanttDirection::Recv => rank == e.dst,
+                    GanttDirection::Both => true,
+                };
+                // Ignore endpoints outside the requested row range rather
+                // than panicking on partial traces.
+                if credit && rank < n_ranks {
+                    busy[rank as usize][c] += overlap;
+                }
+                if e.src == e.dst {
+                    break; // self-loop: credit once
+                }
+            }
         }
     }
     let mut out = String::new();
@@ -96,11 +135,14 @@ pub fn render_gantt(events: &[TraceEvent], n_ranks: u32, width: usize) -> String
         }
         out.push_str("|\n");
     }
-    out.push_str(&format!(
-        "      0 {:>w$}\n",
-        format!("{:.2} ms", end / 1e6),
-        w = width.saturating_sub(1)
-    ));
+    // Time axis: '0' sits under the first cell (column 6); the end label
+    // is right-aligned so its last character sits under each row's
+    // closing '|' (column 6 + width). When the label cannot fit inside
+    // the axis, fall back to a single separating space instead of
+    // overflowing the alignment math.
+    let label = format!("{:.2} ms", end / 1e6);
+    let pad = width.saturating_sub(label.len()).max(1);
+    out.push_str(&format!("      0{}{label}\n", " ".repeat(pad)));
     out
 }
 
@@ -153,6 +195,17 @@ mod tests {
         }
     }
 
+    fn row(chart: &str, r: usize) -> String {
+        chart
+            .lines()
+            .nth(r)
+            .unwrap()
+            .split('|')
+            .nth(1)
+            .unwrap()
+            .to_string()
+    }
+
     #[test]
     fn gantt_marks_busy_columns() {
         let events = vec![ev(0, 0.0, 50.0), ev(1, 50.0, 100.0)];
@@ -161,11 +214,56 @@ mod tests {
         assert!(lines[0].starts_with("r0"));
         assert!(lines[0].contains('#'));
         assert!(lines[0].contains('.'));
-        // Rank 0 busy in the first half, rank 1 in the second.
-        let r0 = lines[0].split('|').nth(1).unwrap();
-        let r1 = lines[1].split('|').nth(1).unwrap();
-        assert_eq!(&r0[..4], "####");
-        assert_eq!(&r1[6..10], "####");
+        // Rank 0 sends in the first half; rank 1 receives that transfer,
+        // then sends in the second half — its whole row is busy.
+        assert_eq!(&row(&g, 0)[..4], "####");
+        assert_eq!(&row(&g, 1)[6..10], "####");
+        assert_eq!(&row(&g, 1)[..4], "####");
+    }
+
+    #[test]
+    fn gantt_credits_receivers() {
+        // Regression: a pure receiver used to render fully idle while
+        // draining inbound transfers.
+        let events = vec![ev(0, 0.0, 100.0)]; // 0 -> 1
+        let g = render_gantt(&events, 2, 10);
+        assert_eq!(row(&g, 1), "##########");
+        // Direction modes separate the two views.
+        let send = render_gantt_directed(&events, 2, 10, GanttDirection::Send);
+        assert_eq!(row(&send, 0), "##########");
+        assert_eq!(row(&send, 1), "..........");
+        let recv = render_gantt_directed(&events, 2, 10, GanttDirection::Recv);
+        assert_eq!(row(&recv, 0), "..........");
+        assert_eq!(row(&recv, 1), "##########");
+    }
+
+    #[test]
+    fn gantt_axis_label_aligns_with_row_edge() {
+        // Regression: the time-axis label used `w = width - 1` right
+        // alignment, overflowing the chart for small widths. The label's
+        // last character must sit under the closing '|' (column
+        // 6 + width) whenever it fits, and keep one separating space
+        // otherwise.
+        let events = vec![ev(0, 0.0, 100.0)];
+        for width in [8usize, 10, 24, 40] {
+            let g = render_gantt(&events, 2, width);
+            let axis = g.lines().last().unwrap();
+            assert_eq!(axis.as_bytes()[6], b'0', "width {width}: {axis:?}");
+            assert_eq!(axis.len(), 6 + width + 1, "width {width}: {axis:?}");
+        }
+        // Too narrow for the label: no overflow past a single space.
+        let g = render_gantt(&events, 2, 3);
+        let axis = g.lines().last().unwrap();
+        assert!(axis.starts_with("      0 0."), "{axis:?}");
+    }
+
+    #[test]
+    fn gantt_ignores_out_of_range_endpoints() {
+        // ev() wraps dst with % 4; rendering only 2 ranks must not panic.
+        let events = vec![ev(1, 0.0, 80.0)]; // 1 -> 2, but n_ranks = 2
+        let g = render_gantt(&events, 2, 8);
+        assert_eq!(row(&g, 0), "........");
+        assert_eq!(row(&g, 1), "########");
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn resccl_cached_run(
         sim,
         cache: Some(cache.stats()),
         recovery: None,
+        obs: None,
     })
 }
 

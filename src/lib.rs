@@ -72,6 +72,11 @@ pub mod sim {
     pub use rescc_sim::*;
 }
 
+/// Cross-layer observability: spans, counters, Chrome-trace export.
+pub mod obs {
+    pub use rescc_obs::*;
+}
+
 /// The collective algorithm library.
 pub mod algos {
     pub use rescc_algos::*;
