@@ -166,7 +166,7 @@ impl TbAllocation {
     /// `recvCopySend`/`recvReduceSend` fusion pass (`rescc_kernel::fuse`)
     /// to find adjacent pairs.
     pub fn state_based_chained(dag: &DepDag, schedule: &Schedule) -> Self {
-        let mut alloc = Self::state_based_inner(dag, schedule, true);
+        let mut alloc = Self::state_based_inner(dag, schedule, true, 1);
         alloc.strategy = "state-chained".into();
         alloc
     }
@@ -174,10 +174,24 @@ impl TbAllocation {
     /// ResCCL's state-based allocation: endpoints whose active intervals on
     /// the sub-pipeline timeline never overlap are merged onto one TB.
     pub fn state_based(dag: &DepDag, schedule: &Schedule) -> Self {
-        Self::state_based_inner(dag, schedule, false)
+        Self::state_based_inner(dag, schedule, false, 1)
     }
 
-    fn state_based_inner(dag: &DepDag, schedule: &Schedule, chain_merge: bool) -> Self {
+    /// [`TbAllocation::state_based`] with the per-rank interval analysis
+    /// fanned out over `threads` worker threads. Each rank's TB plan is a
+    /// pure function of that rank's slots plus the global schedule order,
+    /// so ranks allocate independently; output is identical for any thread
+    /// count.
+    pub fn state_based_with_threads(dag: &DepDag, schedule: &Schedule, threads: usize) -> Self {
+        Self::state_based_inner(dag, schedule, false, threads)
+    }
+
+    fn state_based_inner(
+        dag: &DepDag,
+        schedule: &Schedule,
+        chain_merge: bool,
+        threads: usize,
+    ) -> Self {
         let n_ranks = infer_n_ranks(dag);
         let slots = collect_slots(dag, schedule);
         // Global schedule position of each task: within a sub-pipeline the
@@ -194,165 +208,60 @@ impl TbAllocation {
         // it never gates its TB's issue groups — so it cannot take part in
         // a rendezvous cycle, and every *gating* slot still follows the
         // schedule's dependency-compatible total order.
-        let base_pos: HashMap<TaskId, usize> = schedule
-            .linear_order()
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| (t, i))
-            .collect();
-        // `Some(feeder)` = chain transit; `None` = fed by several
-        // deliveries (disqualified); absent = chain head (no feeder).
-        let mut chain_feed: HashMap<TaskId, Option<TaskId>> = HashMap::new();
+        let mut base_pos: Vec<u32> = vec![0; dag.len()];
+        for (i, t) in schedule.linear_order().into_iter().enumerate() {
+            base_pos[t.index()] = i as u32;
+        }
+        let mut chain_feed: Vec<ChainFeed> = Vec::new();
         if chain_merge {
+            chain_feed = vec![ChainFeed::Head; dag.len()];
             for b in dag.tasks() {
-                let feeders: Vec<TaskId> = dag
-                    .preds(b.id)
-                    .iter()
-                    .copied()
-                    .filter(|&a| {
-                        let ta = dag.task(a);
-                        ta.chunk == b.chunk && ta.dst == b.src
-                    })
-                    .collect();
-                match feeders.as_slice() {
-                    [] => {}
-                    [a] => {
-                        chain_feed.insert(b.id, Some(*a));
-                    }
-                    _ => {
-                        chain_feed.insert(b.id, None);
-                    }
-                }
+                let mut feeders = dag.preds(b.id).iter().copied().filter(|&a| {
+                    let ta = dag.task(a);
+                    ta.chunk == b.chunk && ta.dst == b.src
+                });
+                chain_feed[b.id.index()] = match (feeders.next(), feeders.next()) {
+                    (None, _) => ChainFeed::Head,
+                    (Some(a), None) => ChainFeed::Single(a),
+                    (Some(_), Some(_)) => ChainFeed::Multi,
+                };
             }
         }
 
         let mut per_rank: Vec<RankTbPlan> = vec![RankTbPlan::default(); n_ranks];
+        let workers = threads.max(1).min(n_ranks.max(1));
+        if workers > 1 {
+            let stride = n_ranks.div_ceil(workers);
+            let (base_pos, chain_feed) = (&base_pos, &chain_feed);
+            std::thread::scope(|scope| {
+                let mut slots = slots;
+                for (i, plans) in per_rank.chunks_mut(stride).enumerate() {
+                    let batch: Vec<Vec<PrimSlot>> =
+                        slots.drain(..plans.len().min(slots.len())).collect();
+                    let first = i * stride;
+                    scope.spawn(move || {
+                        for (k, (plan, rank_slots)) in plans.iter_mut().zip(batch).enumerate() {
+                            plan.tbs = lower_one_rank(
+                                dag,
+                                base_pos,
+                                chain_feed,
+                                chain_merge,
+                                first + k,
+                                rank_slots,
+                            );
+                        }
+                    });
+                }
+            });
+            return Self {
+                per_rank,
+                strategy: "state".into(),
+                n_channels: 1,
+            };
+        }
         for (rank, rank_slots) in slots.into_iter().enumerate() {
-            // Active interval per endpoint: [min_sp, max_sp] of its slots.
-            let mut intervals: HashMap<Endpoint, (usize, usize, Vec<PrimSlot>)> = HashMap::new();
-            for slot in rank_slots {
-                let t = dag.task(slot.task);
-                let ep = Endpoint {
-                    peer: if slot.dir == Direction::Send {
-                        t.dst
-                    } else {
-                        t.src
-                    },
-                    dir_is_send: slot.dir == Direction::Send,
-                };
-                let e = intervals.entry(ep).or_insert((
-                    slot.sub_pipeline,
-                    slot.sub_pipeline,
-                    Vec::new(),
-                ));
-                e.0 = e.0.min(slot.sub_pipeline);
-                e.1 = e.1.max(slot.sub_pipeline);
-                e.2.push(slot);
-            }
-
-            // Chain merging: fold a send endpoint into the receive endpoint
-            // that feeds all of its tasks (same chunk, this rank in the
-            // middle of the chain). Folded endpoints are remembered so the
-            // final sort can key their forwards right behind their feeders.
-            let mut folded: HashSet<Endpoint> = HashSet::new();
-            if chain_merge {
-                let keys: Vec<Endpoint> = {
-                    let mut k: Vec<Endpoint> = intervals.keys().copied().collect();
-                    k.sort();
-                    k
-                };
-                for ep in keys {
-                    if !ep.dir_is_send {
-                        continue;
-                    }
-                    // The single feeding recv endpoint, if one exists.
-                    // Chain heads (a rank sending its own data, no feeder)
-                    // are allowed; a task fed by several deliveries is not
-                    // a chain transit and disqualifies the endpoint.
-                    let mut feeder: Option<Endpoint> = None;
-                    let mut ok = true;
-                    for slot in &intervals[&ep].2 {
-                        match chain_feed.get(&slot.task) {
-                            None => {} // chain head
-                            Some(None) => {
-                                ok = false;
-                                break;
-                            }
-                            Some(Some(a)) => {
-                                let fa = Endpoint {
-                                    peer: dag.task(*a).src,
-                                    dir_is_send: false,
-                                };
-                                if *feeder.get_or_insert(fa) != fa {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    if let Some(f) = feeder {
-                        if f != ep && intervals.contains_key(&f) {
-                            let (s, e, sl) = intervals.remove(&ep).expect("present");
-                            let fe = intervals.get_mut(&f).expect("checked");
-                            fe.0 = fe.0.min(s);
-                            fe.1 = fe.1.max(e);
-                            fe.2.extend(sl);
-                            folded.insert(ep);
-                        }
-                    }
-                }
-            }
-            // Greedy interval partitioning: sort by start, place each
-            // endpoint on the first TB whose last interval ended before
-            // this one starts.
-            let mut items: Vec<(usize, usize, Endpoint)> = intervals
-                .iter()
-                .map(|(ep, (s, e, _))| (*s, *e, *ep))
-                .collect();
-            items.sort_by_key(|(s, e, ep)| (*s, *e, *ep));
-            // tb_end[i] = last sub-pipeline index currently occupied on TB i
-            let mut tb_end: Vec<usize> = Vec::new();
-            let mut tb_slots: Vec<Vec<PrimSlot>> = Vec::new();
-            for (start, end, ep) in items {
-                let mut placed = false;
-                for (i, last) in tb_end.iter_mut().enumerate() {
-                    if *last < start {
-                        *last = end;
-                        tb_slots[i].extend(intervals[&ep].2.iter().copied());
-                        placed = true;
-                        break;
-                    }
-                }
-                if !placed {
-                    tb_end.push(end);
-                    let mut v = Vec::new();
-                    v.extend(intervals[&ep].2.iter().copied());
-                    tb_slots.push(v);
-                }
-            }
-            for tb in &mut tb_slots {
-                tb.sort_by_key(|s| {
-                    // A forward folded onto its feeder's TB sorts directly
-                    // behind the feeder (adjacent, for the fusion pass).
-                    // Everything else — including chain heads and every
-                    // gating slot — keeps the schedule's total order.
-                    if s.dir == Direction::Send
-                        && folded.contains(&Endpoint {
-                            peer: dag.task(s.task).dst,
-                            dir_is_send: true,
-                        })
-                    {
-                        if let Some(&Some(a)) = chain_feed.get(&s.task) {
-                            return (base_pos[&a], 1, base_pos[&s.task], s.dir);
-                        }
-                    }
-                    (base_pos[&s.task], 0, 0, s.dir)
-                });
-            }
-            per_rank[rank].tbs = tb_slots.into_iter().map(TbPlan::full).collect();
+            per_rank[rank].tbs =
+                lower_one_rank(dag, &base_pos, &chain_feed, chain_merge, rank, rank_slots);
         }
         Self {
             per_rank,
@@ -360,7 +269,6 @@ impl TbAllocation {
             n_channels: 1,
         }
     }
-
     /// Total number of TBs across all ranks.
     pub fn total_tbs(&self) -> usize {
         self.per_rank.iter().map(|r| r.tbs.len()).sum()
@@ -380,7 +288,10 @@ impl TbAllocation {
         // For each (task, dir), the set of (stride, offset) windows covering it.
         let mut send_cover: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dag.len()];
         let mut recv_cover: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dag.len()];
-        let sp_of: HashMap<TaskId, usize> = schedule.sub_pipeline_of().into_iter().collect();
+        let mut sp_of: Vec<usize> = vec![usize::MAX; dag.len()];
+        for (t, sp) in schedule.sub_pipeline_of() {
+            sp_of[t.index()] = sp;
+        }
         for (rank, plan) in self.per_rank.iter().enumerate() {
             for tb in &plan.tbs {
                 if tb.mb_stride == 0 || tb.mb_offset >= tb.mb_stride {
@@ -402,12 +313,12 @@ impl TbAllocation {
                             slot.task, slot.dir, expect_rank
                         )));
                     }
-                    if sp_of.get(&slot.task) != Some(&slot.sub_pipeline) {
+                    if sp_of[slot.task.index()] != slot.sub_pipeline {
                         return Err(IrError::new(format!(
-                            "slot for task {} records sub-pipeline {}, schedule says {:?}",
+                            "slot for task {} records sub-pipeline {}, schedule says {}",
                             slot.task,
                             slot.sub_pipeline,
-                            sp_of.get(&slot.task)
+                            sp_of[slot.task.index()]
                         )));
                     }
                     if slot.sub_pipeline < last_sp {
@@ -456,6 +367,155 @@ impl TbAllocation {
         }
         Ok(())
     }
+}
+
+/// How a task's receive side relates to the chain-merge pass: the single
+/// delivery feeding its source rank's slot, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChainFeed {
+    /// No feeder — the rank sends its own data (chain head). Allowed.
+    Head,
+    /// Fed by several deliveries — not a chain transit. Disqualifies.
+    Multi,
+    /// Fed by exactly one delivery — a chain transit behind that task.
+    Single(TaskId),
+}
+
+/// Build one rank's TB list: interval analysis, optional chain merging,
+/// greedy interval partitioning, and the in-TB slot sort. Pure in
+/// `(dag, base_pos, chain_feed, rank_slots)`, which is what lets
+/// [`TbAllocation::state_based_with_threads`] fan ranks out.
+fn lower_one_rank(
+    dag: &DepDag,
+    base_pos: &[u32],
+    chain_feed: &[ChainFeed],
+    chain_merge: bool,
+    _rank: usize,
+    rank_slots: Vec<PrimSlot>,
+) -> Vec<TbPlan> {
+    // Active interval per endpoint: [min_sp, max_sp] of its slots.
+    let mut intervals: HashMap<Endpoint, (usize, usize, Vec<PrimSlot>)> = HashMap::new();
+    for slot in rank_slots {
+        let t = dag.task(slot.task);
+        let ep = Endpoint {
+            peer: if slot.dir == Direction::Send {
+                t.dst
+            } else {
+                t.src
+            },
+            dir_is_send: slot.dir == Direction::Send,
+        };
+        let e = intervals
+            .entry(ep)
+            .or_insert((slot.sub_pipeline, slot.sub_pipeline, Vec::new()));
+        e.0 = e.0.min(slot.sub_pipeline);
+        e.1 = e.1.max(slot.sub_pipeline);
+        e.2.push(slot);
+    }
+
+    // Chain merging: fold a send endpoint into the receive endpoint
+    // that feeds all of its tasks (same chunk, this rank in the
+    // middle of the chain). Folded endpoints are remembered so the
+    // final sort can key their forwards right behind their feeders.
+    let mut folded: HashSet<Endpoint> = HashSet::new();
+    if chain_merge {
+        let keys: Vec<Endpoint> = {
+            let mut k: Vec<Endpoint> = intervals.keys().copied().collect();
+            k.sort();
+            k
+        };
+        for ep in keys {
+            if !ep.dir_is_send {
+                continue;
+            }
+            // The single feeding recv endpoint, if one exists.
+            // Chain heads (a rank sending its own data, no feeder)
+            // are allowed; a task fed by several deliveries is not
+            // a chain transit and disqualifies the endpoint.
+            let mut feeder: Option<Endpoint> = None;
+            let mut ok = true;
+            for slot in &intervals[&ep].2 {
+                match chain_feed[slot.task.index()] {
+                    ChainFeed::Head => {}
+                    ChainFeed::Multi => {
+                        ok = false;
+                        break;
+                    }
+                    ChainFeed::Single(a) => {
+                        let fa = Endpoint {
+                            peer: dag.task(a).src,
+                            dir_is_send: false,
+                        };
+                        if *feeder.get_or_insert(fa) != fa {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if let Some(f) = feeder {
+                if f != ep && intervals.contains_key(&f) {
+                    let (s, e, sl) = intervals.remove(&ep).expect("present");
+                    let fe = intervals.get_mut(&f).expect("checked");
+                    fe.0 = fe.0.min(s);
+                    fe.1 = fe.1.max(e);
+                    fe.2.extend(sl);
+                    folded.insert(ep);
+                }
+            }
+        }
+    }
+    // Greedy interval partitioning: sort by start, place each
+    // endpoint on the first TB whose last interval ended before
+    // this one starts.
+    let mut items: Vec<(usize, usize, Endpoint)> = intervals
+        .iter()
+        .map(|(ep, (s, e, _))| (*s, *e, *ep))
+        .collect();
+    items.sort_by_key(|(s, e, ep)| (*s, *e, *ep));
+    // tb_end[i] = last sub-pipeline index currently occupied on TB i
+    let mut tb_end: Vec<usize> = Vec::new();
+    let mut tb_slots: Vec<Vec<PrimSlot>> = Vec::new();
+    for (start, end, ep) in items {
+        let mut placed = false;
+        for (i, last) in tb_end.iter_mut().enumerate() {
+            if *last < start {
+                *last = end;
+                tb_slots[i].extend(intervals[&ep].2.iter().copied());
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            tb_end.push(end);
+            let mut v = Vec::new();
+            v.extend(intervals[&ep].2.iter().copied());
+            tb_slots.push(v);
+        }
+    }
+    for tb in &mut tb_slots {
+        tb.sort_by_key(|s| {
+            // A forward folded onto its feeder's TB sorts directly
+            // behind the feeder (adjacent, for the fusion pass).
+            // Everything else — including chain heads and every
+            // gating slot — keeps the schedule's total order.
+            if s.dir == Direction::Send
+                && folded.contains(&Endpoint {
+                    peer: dag.task(s.task).dst,
+                    dir_is_send: true,
+                })
+            {
+                if let ChainFeed::Single(a) = chain_feed[s.task.index()] {
+                    return (base_pos[a.index()], 1, base_pos[s.task.index()], s.dir);
+                }
+            }
+            (base_pos[s.task.index()], 0, 0, s.dir)
+        });
+    }
+    tb_slots.into_iter().map(TbPlan::full).collect()
 }
 
 fn infer_n_ranks(dag: &DepDag) -> usize {

@@ -85,14 +85,65 @@ pub struct AnalysisInput<'a> {
 pub fn analyze(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport {
     let order = CombinedOrder::build(input.dag, input.program);
     let mut out = Vec::new();
-    lints::ra001_deadlock(input, &order, &mut out);
-    // A cycle poisons reachability queries; report only the deadlock and
-    // let the user re-run once it is fixed.
-    if out.is_empty() {
-        lints::ra002_buffer_race(input, &order, &mut out);
+    match order.topo_or_cycle() {
+        // A cycle poisons reachability queries; report only the deadlock
+        // and let the user re-run once it is fixed.
+        Err(_) => lints::ra001_deadlock(input, &order, &mut out),
+        Ok(topo) => lints::ra002_buffer_race(input, &order, &topo, &mut out),
     }
     lints::ra003_oversubscription(input, config, &mut out);
     lints::ra004_dead_transfer(input, &mut out);
+    lints::ra005_degraded_soundness(input, &mut out);
+    AnalysisReport::new(out)
+}
+
+/// Re-analyze a plan whose *routing* changed but whose structure did not.
+///
+/// The caller asserts that relative to the plan `cached` was produced
+/// from, the DAG adjacency, every task's `(src, dst, chunk, step, comm)`
+/// tuple, the schedule, and the kernel program are all identical — only
+/// the per-task `path`/`conflict` resource sets and the topology health
+/// overlay differ (the incremental-recompile splice path: the router
+/// re-resolved routes around masked resources and the old schedule stayed
+/// feasible). Under those invariants three lints cannot change verdicts,
+/// because routing is not among their inputs:
+///
+/// * RA001 reads DAG edges ∪ per-TB slot order ∪ fusion gates — unchanged;
+/// * RA002 reads the same combined order plus `(dst, chunk, comm)` — unchanged;
+/// * RA004 replays `(src, dst, chunk, step, comm)` — unchanged.
+///
+/// Their diagnostics are spliced through from `cached`, and only RA003
+/// (conflict loads against saturation limits) and RA005 (routes vs. the
+/// health overlay) re-run — RA003's load check only over
+/// `dirty_sub_pipelines`, the sub-pipelines that contain a rerouted task
+/// (loads elsewhere are unchanged, so their cached verdicts splice through
+/// too, as do the TB-budget warnings: the allocation is untouched). The
+/// result is a full RA001–RA005 report at a cost proportional to the
+/// dirty region plus one linear RA005 scan.
+pub fn analyze_rerouted(
+    input: &AnalysisInput,
+    _config: &AnalysisConfig,
+    cached: &AnalysisReport,
+    dirty_sub_pipelines: &[u32],
+) -> AnalysisReport {
+    let mut out: Vec<Diagnostic> = cached
+        .diagnostics()
+        .iter()
+        .filter(|d| match d.code {
+            LintCode::RA001 | LintCode::RA002 | LintCode::RA004 => true,
+            // RA003 splices through except for load findings inside a
+            // dirty sub-pipeline, which are superseded by the re-run
+            // below. Budget warnings carry no sub-pipeline site.
+            LintCode::RA003 => match d.site.sub_pipeline {
+                Some(sp) => !dirty_sub_pipelines.contains(&sp),
+                None => true,
+            },
+            // RA005 re-runs in full against the new health overlay.
+            LintCode::RA005 => false,
+        })
+        .cloned()
+        .collect();
+    lints::ra003_sub_pipeline_loads(input, dirty_sub_pipelines, &mut out);
     lints::ra005_degraded_soundness(input, &mut out);
     AnalysisReport::new(out)
 }

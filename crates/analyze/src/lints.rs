@@ -84,7 +84,20 @@ fn find_cycle(order: &CombinedOrder, stuck: &[u32]) -> Vec<u32> {
 /// order. The front-end verifier only rejects same-*step* copy pairs; TB
 /// allocation and fusion can leave *cross-step* writes unordered too, and
 /// those are invisible at spec level.
-pub fn ra002_buffer_race(input: &AnalysisInput, order: &CombinedOrder, out: &mut Vec<Diagnostic>) {
+///
+/// `topo` is a valid topological order of `order` (the Ok value of
+/// [`CombinedOrder::topo_or_cycle`], which the caller has already computed
+/// for RA001). Every edge goes forward in it, so for any writer pair only
+/// the earlier-positioned task can possibly reach the later one — one
+/// pruned DFS per pair instead of a full reachability bitmap per writer.
+/// Same-slot writers carry WAW dependency edges, so the common case hits
+/// the target in the first adjacency scan.
+pub fn ra002_buffer_race(
+    input: &AnalysisInput,
+    order: &CombinedOrder,
+    topo: &[u32],
+    out: &mut Vec<Diagnostic>,
+) {
     // Writers per (dst rank, chunk) slot.
     let mut writers: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
     for t in input.dag.tasks() {
@@ -95,11 +108,37 @@ pub fn ra002_buffer_race(input: &AnalysisInput, order: &CombinedOrder, out: &mut
     }
     let mut keys: Vec<(u32, u32)> = writers.keys().copied().collect();
     keys.sort_unstable();
-    let mut reach_cache: HashMap<u32, Vec<bool>> = HashMap::new();
+    let mut pos: Vec<u32> = vec![0; order.len()];
+    for (i, &t) in topo.iter().enumerate() {
+        pos[t as usize] = i as u32;
+    }
+    let mut visited: Vec<u32> = vec![0; order.len()];
+    let mut stamp: u32 = 0;
+    let mut stack: Vec<u32> = Vec::new();
     for key in keys {
         let group = &writers[&key];
         if group.len() < 2 {
             continue;
+        }
+        // Reachability is transitive, so order the group by topo position
+        // and check *consecutive* pairs once: in a clean plan consecutive
+        // same-slot writers carry direct WAW edges, and any wider pair is
+        // ordered iff no unordered gap lies between them (`gaps` prefix
+        // count). Only pairs spanning a gap fall back to a full DFS.
+        let mut sorted: Vec<u32> = group.clone();
+        sorted.sort_unstable_by_key(|&t| pos[t as usize]);
+        let mut gaps: Vec<u32> = vec![0; sorted.len()];
+        for i in 1..sorted.len() {
+            let linked = reaches(
+                order,
+                &pos,
+                &mut visited,
+                &mut stamp,
+                &mut stack,
+                sorted[i - 1],
+                sorted[i],
+            );
+            gaps[i] = gaps[i - 1] + u32::from(!linked);
         }
         for (i, &a) in group.iter().enumerate() {
             for &b in &group[i + 1..] {
@@ -108,13 +147,24 @@ pub fn ra002_buffer_race(input: &AnalysisInput, order: &CombinedOrder, out: &mut
                 if ca != CommType::Recv && cb != CommType::Recv {
                     continue; // rrc + rrc commutes
                 }
-                let a_before_b = reach_cache
-                    .entry(a)
-                    .or_insert_with(|| order.reachable_from(a))[b as usize];
-                let b_before_a = reach_cache
-                    .entry(b)
-                    .or_insert_with(|| order.reachable_from(b))[a as usize];
-                if !a_before_b && !b_before_a {
+                let (first, second) = if pos[a as usize] < pos[b as usize] {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let ia = sorted.iter().position(|&t| t == first).unwrap();
+                let ib = sorted.iter().position(|&t| t == second).unwrap();
+                let ordered = gaps[ia] == gaps[ib]
+                    || reaches(
+                        order,
+                        &pos,
+                        &mut visited,
+                        &mut stamp,
+                        &mut stack,
+                        first,
+                        second,
+                    );
+                if !ordered {
                     let (rank, chunk) = key;
                     let tb = input.dag.task(rescc_ir::TaskId::new(b));
                     out.push(Diagnostic {
@@ -140,6 +190,42 @@ pub fn ra002_buffer_race(input: &AnalysisInput, order: &CombinedOrder, out: &mut
     }
 }
 
+/// Is there a path `from -> to` in the combined order? Prunes by topo
+/// position: only nodes positioned strictly before `to` can lie on such a
+/// path, so the search space is the interval between the two writers, not
+/// the whole graph. `visited` is stamp-versioned so the buffers are reused
+/// across queries without clearing.
+fn reaches(
+    order: &CombinedOrder,
+    pos: &[u32],
+    visited: &mut [u32],
+    stamp: &mut u32,
+    stack: &mut Vec<u32>,
+    from: u32,
+    to: u32,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    *stamp += 1;
+    let limit = pos[to as usize];
+    stack.clear();
+    stack.push(from);
+    visited[from as usize] = *stamp;
+    while let Some(u) = stack.pop() {
+        for &s in &order.succs[u as usize] {
+            if s == to {
+                return true;
+            }
+            if pos[s as usize] < limit && visited[s as usize] != *stamp {
+                visited[s as usize] = *stamp;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
 /// RA003 — over-subscription: (a) a conflict resource carries more
 /// concurrent tasks inside one sub-pipeline than its saturation limit
 /// (the Eq. 1 contention constraint the scheduler must respect), and
@@ -152,7 +238,40 @@ pub fn ra003_oversubscription(
     config: &AnalysisConfig,
     out: &mut Vec<Diagnostic>,
 ) {
-    for (sp_idx, sp) in input.schedule.sub_pipelines.iter().enumerate() {
+    let all: Vec<u32> = (0..input.schedule.sub_pipelines.len() as u32).collect();
+    ra003_sub_pipeline_loads(input, &all, out);
+
+    for (rank, plan) in input.alloc.per_rank.iter().enumerate() {
+        let n_tbs = plan.tbs.len() as u32;
+        if n_tbs > config.tb_budget_per_rank {
+            out.push(Diagnostic {
+                code: LintCode::RA003,
+                severity: Severity::Warn,
+                message: format!(
+                    "TB budget: rank r{rank} launches {n_tbs} TBs, above the \
+                     per-rank budget of {} (Eq. 7) — communication TBs crowd out \
+                     compute kernels",
+                    config.tb_budget_per_rank
+                ),
+                site: Site {
+                    rank: Some(rank as u32),
+                    ..Site::default()
+                },
+            });
+        }
+    }
+}
+
+/// RA003 part (a) — the per-sub-pipeline contention-load check — restricted
+/// to the listed sub-pipelines. The incremental re-analysis path uses this
+/// to re-lint only the sub-pipelines whose conflict sets a reroute touched.
+pub fn ra003_sub_pipeline_loads(
+    input: &AnalysisInput,
+    sub_pipelines: &[u32],
+    out: &mut Vec<Diagnostic>,
+) {
+    for &sp_idx in sub_pipelines {
+        let sp = &input.schedule.sub_pipelines[sp_idx as usize];
         let mut load: HashMap<u32, (u32, u32)> = HashMap::new(); // res -> (load, first offender)
         for &t in sp {
             for r in input.dag.task(t).conflict.iter() {
@@ -179,31 +298,11 @@ pub fn ra003_oversubscription(
                     site: Site {
                         task: Some(task),
                         resource: Some(res),
-                        sub_pipeline: Some(sp_idx as u32),
+                        sub_pipeline: Some(sp_idx),
                         ..Site::default()
                     },
                 });
             }
-        }
-    }
-
-    for (rank, plan) in input.alloc.per_rank.iter().enumerate() {
-        let n_tbs = plan.tbs.len() as u32;
-        if n_tbs > config.tb_budget_per_rank {
-            out.push(Diagnostic {
-                code: LintCode::RA003,
-                severity: Severity::Warn,
-                message: format!(
-                    "TB budget: rank r{rank} launches {n_tbs} TBs, above the \
-                     per-rank budget of {} (Eq. 7) — communication TBs crowd out \
-                     compute kernels",
-                    config.tb_budget_per_rank
-                ),
-                site: Site {
-                    rank: Some(rank as u32),
-                    ..Site::default()
-                },
-            });
         }
     }
 }
@@ -217,15 +316,23 @@ pub fn ra003_oversubscription(
 pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
     let n_ranks = input.spec.n_ranks() as usize;
     let n_tasks = input.dag.len();
-    let words = n_tasks.div_ceil(64).max(1);
+    // Provenance bits are indexed *within* the chunk: every task writes
+    // exactly one chunk's slots, so bitsets sized to the chunk (not the
+    // whole DAG) carry the same information at a fraction of the footprint.
+    let mut local: Vec<u32> = vec![u32::MAX; n_tasks];
 
     for chunk in 0..input.dag.n_chunks() {
         let chunk_tasks = input.dag.chunk_tasks(ChunkId::new(chunk));
         if chunk_tasks.is_empty() {
             continue;
         }
-        // prov[rank] = bitset of tasks contributing to the slot's value.
-        let mut prov: Vec<Vec<u64>> = vec![vec![0u64; words]; n_ranks];
+        for (li, &t) in chunk_tasks.iter().enumerate() {
+            local[t.index()] = li as u32;
+        }
+        let words = chunk_tasks.len().div_ceil(64);
+        // prov[rank] = bitset of chunk tasks contributing to the slot's
+        // value, flattened to one allocation.
+        let mut prov: Vec<u64> = vec![0u64; n_ranks * words];
 
         let mut i = 0;
         while i < chunk_tasks.len() {
@@ -238,11 +345,15 @@ pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
             // Reads observe the pre-step state.
             let reads: Vec<Vec<u64>> = group
                 .iter()
-                .map(|&t| prov[input.dag.task(t).src.index()].clone())
+                .map(|&t| {
+                    let r = input.dag.task(t).src.index();
+                    prov[r * words..(r + 1) * words].to_vec()
+                })
                 .collect();
             for (&t, read) in group.iter().zip(&reads) {
                 let task = input.dag.task(t);
-                let slot = &mut prov[task.dst.index()];
+                let d = task.dst.index();
+                let slot = &mut prov[d * words..(d + 1) * words];
                 match task.comm {
                     CommType::Recv => slot.copy_from_slice(read),
                     CommType::Rrc => {
@@ -251,27 +362,29 @@ pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
                         }
                     }
                 }
-                slot[t.index() / 64] |= 1u64 << (t.index() % 64);
+                let li = local[t.index()] as usize;
+                slot[li / 64] |= 1u64 << (li % 64);
             }
             i = j;
         }
 
         // Union the provenance of every slot the postcondition reads.
         let mut useful = vec![0u64; words];
-        for (r, slot) in prov.iter().enumerate() {
+        for r in 0..n_ranks {
             let required = match input.spec.op() {
                 OpType::AllGather | OpType::AllReduce => true,
                 OpType::ReduceScatter => r as u32 == chunk,
             };
             if required {
-                for (u, s) in useful.iter_mut().zip(slot) {
+                for (u, s) in useful.iter_mut().zip(&prov[r * words..(r + 1) * words]) {
                     *u |= s;
                 }
             }
         }
 
         for &t in chunk_tasks {
-            if useful[t.index() / 64] & (1u64 << (t.index() % 64)) == 0 {
+            let li = local[t.index()] as usize;
+            if useful[li / 64] & (1u64 << (li % 64)) == 0 {
                 let task = input.dag.task(t);
                 out.push(Diagnostic {
                     code: LintCode::RA004,
@@ -291,6 +404,10 @@ pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
                     },
                 });
             }
+        }
+
+        for &t in chunk_tasks {
+            local[t.index()] = u32::MAX;
         }
     }
 }

@@ -345,6 +345,26 @@ impl Communicator {
                             permanent: true,
                         });
                     }
+                    // Incremental recompile: reroute the just-failed plan
+                    // around the freshly-masked resource and splice
+                    // (`Compiler::recompile_delta`), caching the result
+                    // under the degraded fingerprint so the dispatch at the
+                    // top of the loop hits instead of compiling the whole
+                    // pipeline again. If the splice is denied (no healthy
+                    // route — the deny gate fires), fall through: the full
+                    // compile at the top of the loop reports the identical
+                    // lint error.
+                    if let Ok(delta) = self.compiler.recompile_delta(&plan, &self.health) {
+                        let degraded = self.topo.clone().with_health(self.health.clone());
+                        let fp = plan_fingerprint(&self.compiler, &spec, &degraded, &mb);
+                        stats.delta_recompiles += 1;
+                        if let Some(o) = obs.as_mut() {
+                            compile_at =
+                                o.add_compile(&delta.timings, "compiler-delta", compile_at);
+                            o.add_delta_recompile(elapsed + at_ns as f64, 0.0);
+                        }
+                        self.cache.insert(fp, std::sync::Arc::new(delta));
+                    }
                     if let Some(o) = obs.as_mut() {
                         o.add_recompile(elapsed + at_ns as f64, self.policy.backoff_base_ns);
                     }
@@ -452,6 +472,10 @@ mod tests {
         assert_eq!(rep.sim.data_valid, Some(true));
         let rec = rep.recovery.expect("watchdog engaged");
         assert!(rec.recompiles >= 1, "link death must recompile");
+        assert_eq!(
+            rec.delta_recompiles, rec.recompiles,
+            "a surviving intra-node reroute must be served incrementally"
+        );
         assert_eq!(rec.dead_resources, vec![chan.0]);
         // The degraded plan was re-analyzed (deny gate) and came out clean.
         assert_eq!(rec.lint_diagnostics, 0);
@@ -553,12 +577,20 @@ mod tests {
         let rec = rep.recovery.as_ref().unwrap();
         assert!(rec.recompiles >= 1);
         assert_eq!(obs.recompiles, rec.recompiles as u64);
-        // One compile per miss: healthy plan + degraded plan.
-        assert_eq!(obs.cache_misses, 2);
+        assert_eq!(obs.delta_recompiles, rec.delta_recompiles as u64);
+        // The degraded plan was spliced incrementally and inserted into the
+        // cache, so only the healthy plan ever missed; the post-fault
+        // dispatch hits.
+        assert_eq!(obs.cache_misses, 1);
+        assert!(obs.cache_hits >= 1);
         assert!(obs
             .spans
             .iter()
             .any(|s| s.category == SpanCategory::Recovery && s.name == "mask+recompile"));
+        assert!(obs
+            .spans
+            .iter()
+            .any(|s| s.category == SpanCategory::Recovery && s.name == "splice-delta"));
         // Compile spans from the two compiles stack without overlap.
         let mut compile_spans: Vec<_> = obs
             .spans

@@ -40,6 +40,10 @@ pub struct RecoveryStats {
     pub retries: u32,
     /// Recompiles against a degraded topology after permanent faults.
     pub recompiles: u32,
+    /// The subset of [`recompiles`](Self::recompiles) served incrementally
+    /// by rerouting and splicing the cached plan
+    /// (`Compiler::recompile_delta`) instead of compiling from scratch.
+    pub delta_recompiles: u32,
     /// Sim time burned by failed attempts and backoff before the
     /// successful attempt started, ns.
     pub recovery_ns: f64,

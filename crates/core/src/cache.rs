@@ -29,9 +29,14 @@ use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, CommType, OpType};
 use rescc_sim::SimResult;
 use rescc_topology::{LinkParams, Topology};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Journal entries retained by default. Long-running training loops
+/// dispatch millions of times; the journal exists for observability tails,
+/// not full history, so it is bounded and drops its oldest entries first.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
 
 /// Snapshot of a cache's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,13 +101,49 @@ pub struct PlanCache {
     map: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    journal: Mutex<Vec<CacheEvent>>,
+    journal: Mutex<Journal>,
+}
+
+/// Bounded dispatch journal: a ring that keeps the most recent
+/// `capacity` events and counts what it sheds.
+#[derive(Debug)]
+struct Journal {
+    ring: VecDeque<CacheEvent>,
+    capacity: usize,
+    /// Next global sequence number (total events ever recorded).
+    next_seq: u64,
+    /// Events shed from the front of the ring.
+    dropped: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self {
+            ring: VecDeque::new(),
+            capacity: DEFAULT_JOURNAL_CAPACITY,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default journal capacity
+    /// ([`DEFAULT_JOURNAL_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache retaining at most `capacity` journal events (0
+    /// disables journaling entirely; every event counts as dropped).
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache
+            .journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .capacity = capacity;
+        cache
     }
 
     /// Lock the map, recovering from poisoning. Entries are only ever
@@ -139,29 +180,66 @@ impl PlanCache {
         Ok(compiled)
     }
 
+    /// Insert a plan compiled outside the cache — e.g. a delta-recompiled
+    /// plan for a degraded topology (see `Compiler::recompile_delta`) —
+    /// under its [`plan_fingerprint`] key, so later dispatches against the
+    /// same degraded configuration hit. Replaces any existing entry.
+    pub fn insert(&self, fingerprint: u64, plan: Arc<CompiledPlan>) {
+        self.map().insert(fingerprint, plan);
+    }
+
     fn record(&self, fingerprint: u64, hit: bool) {
         let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
-        let seq = journal.len() as u64;
-        journal.push(CacheEvent {
+        let seq = journal.next_seq;
+        journal.next_seq += 1;
+        if journal.capacity == 0 {
+            journal.dropped += 1;
+            return;
+        }
+        if journal.ring.len() == journal.capacity {
+            journal.ring.pop_front();
+            journal.dropped += 1;
+        }
+        journal.ring.push_back(CacheEvent {
             seq,
             fingerprint,
             hit,
         });
     }
 
-    /// Snapshot of the dispatch journal (one [`CacheEvent`] per
-    /// [`get_or_compile`](Self::get_or_compile) call, in dispatch order).
+    /// Snapshot of the *retained* dispatch journal, oldest first (one
+    /// [`CacheEvent`] per [`get_or_compile`](Self::get_or_compile) call).
+    /// When more than the configured capacity have been dispatched, the
+    /// oldest events are gone — `seq` numbers stay globally consecutive,
+    /// so a gap before the first retained event is visible as
+    /// `journal()[0].seq == dropped_events()`.
     pub fn journal(&self) -> Vec<CacheEvent> {
         self.journal
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .clone()
+            .ring
+            .iter()
+            .copied()
+            .collect()
     }
 
-    /// Number of journaled dispatches so far (cheaper than cloning the
-    /// journal when a caller only needs a baseline for a later delta).
+    /// Number of journal events currently retained (at most the configured
+    /// capacity; cheaper than cloning the journal).
     pub fn journal_len(&self) -> usize {
-        self.journal.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .len()
+    }
+
+    /// Journal events shed to the bounded ring so far. Total dispatches
+    /// ever journaled = `dropped_events() + journal_len()`.
+    pub fn dropped_events(&self) -> u64 {
+        self.journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dropped
     }
 
     /// Dispatches served from the cache so far.
@@ -443,6 +521,66 @@ mod tests {
                 hit: true
             }
         );
+    }
+
+    #[test]
+    fn journal_is_a_bounded_ring() {
+        let cache = PlanCache::with_journal_capacity(3);
+        let compiler = Compiler::new();
+        let topo = Topology::a100(1, 4);
+        let spec = hm_allreduce(1, 4);
+        let plan = mb(16 << 20, spec.n_chunks());
+        for _ in 0..5 {
+            cache
+                .get_or_compile(&compiler, &spec, &topo, &plan)
+                .unwrap();
+        }
+        assert_eq!(cache.journal_len(), 3, "ring must stay at capacity");
+        assert_eq!(cache.dropped_events(), 2);
+        let journal = cache.journal();
+        // Oldest retained first, globally consecutive seq numbers, and the
+        // gap before the first retained event equals the drop count.
+        assert_eq!(
+            journal.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(journal[0].seq, cache.dropped_events());
+        // Stats are unaffected by journal truncation.
+        assert_eq!(cache.stats().hits, 4);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_journal_drops_everything() {
+        let cache = PlanCache::with_journal_capacity(0);
+        let compiler = Compiler::new();
+        let topo = Topology::a100(1, 4);
+        let spec = hm_allreduce(1, 4);
+        let plan = mb(16 << 20, spec.n_chunks());
+        cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        assert_eq!(cache.journal_len(), 0);
+        assert!(cache.journal().is_empty());
+        assert_eq!(cache.dropped_events(), 1);
+    }
+
+    #[test]
+    fn inserted_plan_is_served_on_next_dispatch() {
+        let cache = PlanCache::new();
+        let compiler = Compiler::new();
+        let topo = Topology::a100(2, 4);
+        let spec = hm_allreduce(2, 4);
+        let plan = mb(64 << 20, spec.n_chunks());
+        let compiled = Arc::new(compiler.compile_spec(&spec, &topo).unwrap());
+        let fp = plan_fingerprint(&compiler, &spec, &topo, &plan);
+        cache.insert(fp, Arc::clone(&compiled));
+        let served = cache
+            .get_or_compile(&compiler, &spec, &topo, &plan)
+            .unwrap();
+        assert!(Arc::ptr_eq(&served, &compiled));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
     }
 
     #[test]

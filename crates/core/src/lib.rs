@@ -35,16 +35,16 @@
 
 mod cache;
 
-pub use cache::{plan_fingerprint, CacheEvent, CacheStats, PlanCache};
+pub use cache::{plan_fingerprint, CacheEvent, CacheStats, PlanCache, DEFAULT_JOURNAL_CAPACITY};
 
 use rescc_alloc::TbAllocation;
-use rescc_analyze::{analyze, AnalysisConfig, AnalysisInput, AnalysisReport};
+use rescc_analyze::{analyze, analyze_rerouted, AnalysisConfig, AnalysisInput, AnalysisReport};
 use rescc_ir::{DepDag, MicroBatchPlan};
 use rescc_kernel::{emit_all, ExecMode, KernelProgram, LoopOrder};
 use rescc_lang::{eval, parse, verify_collective_with_threads, AlgoSpec, OpType};
-use rescc_sched::{hpds, round_robin, Schedule};
+use rescc_sched::{hpds_with_threads, round_robin_with_threads, Schedule};
 use rescc_sim::{simulate, SimConfig, SimError, SimReport, SimResult};
-use rescc_topology::Topology;
+use rescc_topology::{Topology, TopologyHealth};
 use std::time::{Duration, Instant};
 
 /// Process-wide counters of compile-phase executions.
@@ -84,14 +84,18 @@ pub mod phase_counters {
             self.parsing + self.analysis + self.scheduling + self.lowering + self.sanitize
         }
 
-        /// Per-phase difference against an earlier snapshot.
+        /// Per-phase difference against an earlier snapshot. Saturates at
+        /// zero per phase: snapshots taken concurrently with other
+        /// compiling threads can be mutually out of order, and a
+        /// wrapped-around u64 would turn a harmless race into an absurd
+        /// count.
         pub fn since(&self, earlier: &PhaseCounts) -> PhaseCounts {
             PhaseCounts {
-                parsing: self.parsing - earlier.parsing,
-                analysis: self.analysis - earlier.analysis,
-                scheduling: self.scheduling - earlier.scheduling,
-                lowering: self.lowering - earlier.lowering,
-                sanitize: self.sanitize - earlier.sanitize,
+                parsing: self.parsing.saturating_sub(earlier.parsing),
+                analysis: self.analysis.saturating_sub(earlier.analysis),
+                scheduling: self.scheduling.saturating_sub(earlier.scheduling),
+                lowering: self.lowering.saturating_sub(earlier.lowering),
+                sanitize: self.sanitize.saturating_sub(earlier.sanitize),
             }
         }
     }
@@ -258,20 +262,18 @@ impl Compiler {
 
         let t0 = Instant::now();
         let schedule = match self.scheduler {
-            SchedulerChoice::Hpds => hpds(&dag),
-            SchedulerChoice::RoundRobin => round_robin(&dag),
+            SchedulerChoice::Hpds => hpds_with_threads(&dag, threads),
+            SchedulerChoice::RoundRobin => round_robin_with_threads(&dag, threads),
         };
-        schedule
-            .validate(&dag)
-            .map_err(|e| SimError::new(format!("scheduler bug: {e}")))?;
+        schedule.validate(&dag).map_err(SimError::SchedulerBug)?;
         phase_counters::bump(&phase_counters::SCHEDULING);
         timings.scheduling = t0.elapsed();
 
         let t0 = Instant::now();
-        let alloc = TbAllocation::state_based(&dag, &schedule);
+        let alloc = TbAllocation::state_based_with_threads(&dag, &schedule, threads);
         alloc
             .validate(&dag, &schedule)
-            .map_err(|e| SimError::new(format!("allocation bug: {e}")))?;
+            .map_err(SimError::AllocationBug)?;
         let program = KernelProgram::generate_with_threads(
             spec.name(),
             &dag,
@@ -280,9 +282,7 @@ impl Compiler {
             ExecMode::DirectKernel,
             threads,
         );
-        program
-            .validate(&dag)
-            .map_err(|e| SimError::new(format!("lowering bug: {e}")))?;
+        program.validate(&dag).map_err(SimError::LoweringBug)?;
         phase_counters::bump(&phase_counters::LOWERING);
         timings.lowering = t0.elapsed();
 
@@ -314,8 +314,169 @@ impl Compiler {
 
         Ok(CompiledPlan {
             topo: topo.clone(),
+            spec: spec.clone(),
             op: spec.op(),
             n_chunks: spec.n_chunks(),
+            dag,
+            schedule,
+            alloc,
+            program,
+            timings,
+            diagnostics,
+        })
+    }
+
+    /// Incrementally recompile a cached plan for a changed topology health
+    /// mask — the fault-recovery fast path.
+    ///
+    /// A full [`compile_spec`](Self::compile_spec) after a fault repeats
+    /// every phase even though the algorithm, the topology shape, and
+    /// almost every route are unchanged. This entry point reuses the cached
+    /// artifacts instead:
+    ///
+    /// 1. **Identity** — if `health` equals the cached plan's mask, the
+    ///    cached plan *is* the answer (returned as a clone, no phase
+    ///    re-runs).
+    /// 2. **Reroute** — [`DepDag::reroute`] re-resolves each task's route
+    ///    against the masked topology and reports the *dirty* set: tasks
+    ///    whose contention resources actually changed. Dependency edges are
+    ///    topology-independent, so the DAG's adjacency is reused outright.
+    /// 3. **Splice (fast path)** — if no task went dirty, or the cached
+    ///    schedule still validates with the rerouted conflict sets (loads
+    ///    under saturation in every sub-pipeline), the schedule is kept.
+    ///    TB allocation and kernel generation read only each task's
+    ///    endpoints and chunk — never its route — so the cached allocation
+    ///    and program are byte-valid as-is and are spliced unchanged.
+    /// 4. **Reschedule (slow path)** — otherwise scheduling and lowering
+    ///    re-run (threaded, per [`Self::with_threads`]) on the rerouted
+    ///    DAG.
+    ///
+    /// The sanitize phase re-runs in **every** non-identity case (subject
+    /// to [`LintGate::Off`]): splicing must not skip the RA001–RA005 lints,
+    /// or a spliced plan routing over a masked resource would sail through
+    /// where a full compile would be denied. On the splice path the re-run
+    /// is itself incremental ([`rescc_analyze::analyze_rerouted`]): the
+    /// DAG adjacency, task tuples, schedule, and program are identical to
+    /// the cached plan's, so the routing-insensitive lints (RA001, RA002,
+    /// RA004) splice their cached diagnostics through and only RA003 and
+    /// RA005 — the two that read routes — re-run.
+    ///
+    /// Phase counters reflect what actually ran: `scheduling`/`lowering`
+    /// bump only on the slow path, `sanitize` on every non-identity call
+    /// with the gate on, and `parsing`/`analysis` never (verification and
+    /// DAG construction are not repeated).
+    pub fn recompile_delta(
+        &self,
+        cached: &CompiledPlan,
+        health: &TopologyHealth,
+    ) -> SimResult<CompiledPlan> {
+        let threads = self.threads.max(1);
+        let mut timings = PhaseTimings::default();
+
+        if cached.topo.health() == health {
+            let mut plan = cached.clone();
+            plan.timings = timings;
+            return Ok(plan);
+        }
+
+        let t0 = Instant::now();
+        let degraded = cached.topo.clone().with_health(health.clone());
+        let (dag, dirty) = cached
+            .dag
+            .reroute(&degraded)
+            .map_err(|e| SimError::new(e.to_string()))?;
+        timings.analysis = t0.elapsed();
+
+        let t0 = Instant::now();
+        // `keep` carries the dirty sub-pipeline indices when the cached
+        // schedule stays feasible (rule 3 rechecked only where conflict
+        // sets moved — structure cannot break under a reroute), `None`
+        // when the reroute oversubscribed one and a real reschedule is due.
+        let keep: Option<Vec<u32>> = if dirty.is_empty() {
+            Some(Vec::new())
+        } else {
+            cached.schedule.revalidate_dirty(&dag, &dirty).ok()
+        };
+        let (schedule, alloc, program) = if keep.is_some() {
+            // Lowering is route-independent: `lower_rank` and the TB
+            // allocator read only task endpoints, chunks, and schedule
+            // positions, all unchanged — the cached artifacts stay valid.
+            timings.scheduling = t0.elapsed();
+            (
+                cached.schedule.clone(),
+                cached.alloc.clone(),
+                cached.program.clone(),
+            )
+        } else {
+            let schedule = match self.scheduler {
+                SchedulerChoice::Hpds => hpds_with_threads(&dag, threads),
+                SchedulerChoice::RoundRobin => round_robin_with_threads(&dag, threads),
+            };
+            schedule.validate(&dag).map_err(SimError::SchedulerBug)?;
+            phase_counters::bump(&phase_counters::SCHEDULING);
+            timings.scheduling = t0.elapsed();
+
+            let t0 = Instant::now();
+            let alloc = TbAllocation::state_based_with_threads(&dag, &schedule, threads);
+            alloc
+                .validate(&dag, &schedule)
+                .map_err(SimError::AllocationBug)?;
+            let program = KernelProgram::generate_with_threads(
+                cached.spec.name(),
+                &dag,
+                &alloc,
+                LoopOrder::SlotMajor,
+                ExecMode::DirectKernel,
+                threads,
+            );
+            program.validate(&dag).map_err(SimError::LoweringBug)?;
+            phase_counters::bump(&phase_counters::LOWERING);
+            timings.lowering = t0.elapsed();
+            (schedule, alloc, program)
+        };
+
+        let t0 = Instant::now();
+        let diagnostics = if self.lint_gate == LintGate::Off {
+            AnalysisReport::default()
+        } else {
+            let analysis_input = AnalysisInput {
+                spec: &cached.spec,
+                dag: &dag,
+                schedule: &schedule,
+                alloc: &alloc,
+                program: &program,
+                topo: &degraded,
+            };
+            let report = if let Some(dirty_sps) = &keep {
+                // Spliced plan: structure identical to the cached one, only
+                // routes differ — the routing-sensitive lints re-run (RA003
+                // scoped to the dirty sub-pipelines), the rest splice their
+                // cached verdicts.
+                analyze_rerouted(
+                    &analysis_input,
+                    &self.lint_config,
+                    &cached.diagnostics,
+                    dirty_sps,
+                )
+            } else {
+                analyze(&analysis_input, &self.lint_config)
+            };
+            phase_counters::bump(&phase_counters::SANITIZE);
+            if self.lint_gate == LintGate::Deny && report.has_errors() {
+                return Err(SimError::new(format!(
+                    "sanitize: plan rejected by lint gate\n{}",
+                    report.render_human()
+                )));
+            }
+            report
+        };
+        timings.sanitize = t0.elapsed();
+
+        Ok(CompiledPlan {
+            topo: degraded,
+            spec: cached.spec.clone(),
+            op: cached.op,
+            n_chunks: cached.n_chunks,
             dag,
             schedule,
             alloc,
@@ -331,6 +492,10 @@ impl Compiler {
 pub struct CompiledPlan {
     /// The topology the plan was compiled for.
     pub topo: Topology,
+    /// The validated algorithm the plan implements. Kept so incremental
+    /// recompiles ([`Compiler::recompile_delta`]) can re-run the sanitize
+    /// phase without the caller having to retain the spec separately.
+    pub spec: AlgoSpec,
     /// The collective operator implemented.
     pub op: OpType,
     /// Chunks per rank.
@@ -525,6 +690,92 @@ mod tests {
             .compile_spec(&spec, &degraded)
             .unwrap();
         let _ = plan.diagnostics.render_human();
+    }
+
+    #[test]
+    fn phase_counts_since_saturates_instead_of_wrapping() {
+        use phase_counters::PhaseCounts;
+        // A snapshot raced from another compiling thread can be "newer"
+        // than the nominally later one; the difference must clamp to zero,
+        // not wrap to u64::MAX.
+        let earlier = PhaseCounts {
+            parsing: 5,
+            analysis: 2,
+            scheduling: 0,
+            lowering: 7,
+            sanitize: 1,
+        };
+        let later = PhaseCounts {
+            parsing: 4,
+            analysis: 3,
+            scheduling: 0,
+            lowering: 7,
+            sanitize: 2,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.parsing, 0);
+        assert_eq!(d.analysis, 1);
+        assert_eq!(d.scheduling, 0);
+        assert_eq!(d.lowering, 0);
+        assert_eq!(d.sanitize, 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn recompile_delta_with_unchanged_health_is_byte_equivalent() {
+        let topo = Topology::a100(2, 4);
+        let compiler = Compiler::new();
+        let plan = compiler.compile_spec(&hm_allreduce(2, 4), &topo).unwrap();
+        let before = phase_counters::snapshot();
+        let delta = compiler.recompile_delta(&plan, plan.topo.health()).unwrap();
+        assert!(delta.semantic_eq(&plan));
+        // Identity path: no phase re-ran, not even sanitize.
+        assert_eq!(phase_counters::snapshot().since(&before).total(), 0);
+    }
+
+    #[test]
+    fn recompile_delta_splices_schedule_for_survivable_intra_fault() {
+        use rescc_topology::{Rank, TopologyHealth};
+        let topo = Topology::a100(1, 8);
+        let compiler = Compiler::new();
+        let plan = compiler.compile_spec(&hm_allreduce(1, 8), &topo).unwrap();
+        // Mask one intra-node pair channel: the router relays through a
+        // third rank, and the extra load fits under the NVLink saturation,
+        // so the cached schedule must be spliced, not rebuilt.
+        let mut health = TopologyHealth::healthy();
+        health.mask(topo.pair_chan(Rank::new(0), Rank::new(1)));
+        let before = phase_counters::snapshot();
+        let delta = compiler.recompile_delta(&plan, &health).unwrap();
+        let ran = phase_counters::snapshot().since(&before);
+        assert_eq!(delta.schedule, plan.schedule, "schedule must be reused");
+        assert_eq!(delta.program, plan.program, "lowering is route-independent");
+        assert_eq!(ran.scheduling, 0, "fast path must not reschedule");
+        assert_eq!(ran.lowering, 0, "fast path must not re-lower");
+        assert_eq!(ran.sanitize, 1, "sanitize must re-run on the splice");
+        assert_eq!(delta.topo.health(), &health);
+        assert!(
+            delta.diagnostics.is_clean(),
+            "{}",
+            delta.diagnostics.render_human()
+        );
+        // The spliced plan still runs and validates its data.
+        let rep = delta.run(16 << 20, 1 << 20).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+    }
+
+    #[test]
+    fn recompile_delta_denies_unroutable_fault() {
+        use rescc_topology::{NicId, TopologyHealth};
+        // Single NIC per node: masking its TX leaves no healthy route, the
+        // reroute falls back to the dead resource, and the spliced plan
+        // must be rejected by the same RA005 deny gate a full compile hits.
+        let topo = Topology::a100(2, 2);
+        let compiler = Compiler::new();
+        let plan = compiler.compile_spec(&hm_allreduce(2, 2), &topo).unwrap();
+        let mut health = TopologyHealth::healthy();
+        health.mask(topo.nic_tx(NicId::new(0)));
+        let err = compiler.recompile_delta(&plan, &health).unwrap_err();
+        assert!(err.to_string().contains("RA005"), "{err}");
     }
 
     #[test]

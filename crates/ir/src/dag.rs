@@ -15,31 +15,89 @@
 //! are a symmetric interference relation derived from shared contention
 //! resources, exposed via [`DepDag::interferes`] and the per-resource task
 //! index. The scheduler consumes both relations.
+//!
+//! Storage is arena-flat: adjacency (preds, succs, per-chunk task lists,
+//! per-resource task lists) lives in CSR arrays, and every conflict
+//! resource is assigned a **dense index** so the scheduler's hot loops can
+//! track per-resource load in plain vectors instead of hash maps.
 
 use crate::error::{IrError, Result};
 use crate::task::{Task, TaskId};
 use rescc_lang::AlgoSpec;
-use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology};
-use std::collections::hash_map::Entry;
+use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology, MAX_PATH_RESOURCES};
 use std::collections::HashMap;
+
+/// Compressed sparse rows of [`TaskId`]s: one flat item arena plus row
+/// offsets. Replaces `Vec<Vec<TaskId>>` adjacency so row reads are a
+/// bounds-check and a slice, with no per-row allocation or pointer chase.
+#[derive(Clone, Debug, PartialEq)]
+struct Csr {
+    offsets: Vec<u32>,
+    items: Vec<TaskId>,
+}
+
+impl Csr {
+    fn from_rows(rows: &[Vec<TaskId>]) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut items = Vec::with_capacity(total);
+        offsets.push(0);
+        for row in rows {
+            items.extend_from_slice(row);
+            offsets.push(items.len() as u32);
+        }
+        Self { offsets, items }
+    }
+
+    fn row(&self, i: usize) -> &[TaskId] {
+        &self.items[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The conflict resources of one task as **dense indices** (positions in
+/// the DAG's sorted resource table), stored inline so the scheduler's
+/// per-resource load bookkeeping stays allocation-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DenseResSet {
+    items: [u32; MAX_PATH_RESOURCES],
+    len: u8,
+}
+
+impl DenseResSet {
+    fn push(&mut self, idx: u32) {
+        debug_assert!((self.len as usize) < MAX_PATH_RESOURCES);
+        self.items[self.len as usize] = idx;
+        self.len += 1;
+    }
+
+    /// The dense indices as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.items[..self.len as usize]
+    }
+}
 
 /// The dependency DAG for one algorithm on one topology.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DepDag {
     tasks: Vec<Task>,
-    /// Data-dependency predecessors of each task.
-    preds: Vec<Vec<TaskId>>,
-    /// Data-dependency successors of each task.
-    succs: Vec<Vec<TaskId>>,
+    /// Data-dependency predecessors of each task (CSR).
+    preds: Csr,
+    /// Data-dependency successors of each task (CSR).
+    succs: Csr,
     /// Tasks of each chunk, sorted by step (the per-chunk DAG `G[C]` of
-    /// Algorithm 1).
-    by_chunk: Vec<Vec<TaskId>>,
-    /// Tasks indexed by contention resource.
-    by_resource: HashMap<ResourceId, Vec<TaskId>>,
-    /// Concurrency limit of each conflict resource: how many tasks can
-    /// drive it before a communication dependency (Eq. 1 contention)
-    /// arises — the resource's `saturation_tbs`.
-    conflict_limit: HashMap<ResourceId, u32>,
+    /// Algorithm 1), CSR over chunks.
+    by_chunk: Csr,
+    /// Every conflict resource any task occupies, ascending. A resource's
+    /// position here is its **dense index**.
+    resource_ids: Vec<ResourceId>,
+    /// Per-task conflict sets as dense indices (parallel to `tasks`).
+    conflict_dense: Vec<DenseResSet>,
+    /// Tasks occupying each resource, CSR over dense indices.
+    by_resource: Csr,
+    /// Concurrency limit of each conflict resource (indexed densely): how
+    /// many tasks can drive it before a communication dependency (Eq. 1
+    /// contention) arises — the resource's `saturation_tbs`.
+    conflict_limit: Vec<u32>,
     n_chunks: u32,
 }
 
@@ -90,8 +148,6 @@ impl DepDag {
         }
 
         let n = tasks.len();
-        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         let n_chunks = spec.n_chunks();
         let mut by_chunk: Vec<Vec<TaskId>> = vec![Vec::new(); n_chunks as usize];
         for t in &tasks {
@@ -128,32 +184,24 @@ impl DepDag {
             });
             out
         };
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         for edges in &chunk_edges {
             for &(from, to) in edges {
                 add_edge(&mut preds, &mut succs, from, to);
             }
         }
 
-        // Resource index for communication dependencies.
-        let mut by_resource: HashMap<ResourceId, Vec<TaskId>> = HashMap::new();
-        let mut conflict_limit: HashMap<ResourceId, u32> = HashMap::new();
-        for t in &tasks {
-            for r in t.conflict.iter() {
-                by_resource.entry(r).or_default().push(t.id);
-                if let Entry::Vacant(slot) = conflict_limit.entry(r) {
-                    let params = topo
-                        .resource_params(r)
-                        .map_err(|e| IrError::new(e.to_string()))?;
-                    slot.insert(params.saturation_tbs.max(1));
-                }
-            }
-        }
+        let (resource_ids, conflict_dense, by_resource, conflict_limit) =
+            index_resources(&tasks, topo)?;
 
         let dag = Self {
             tasks,
-            preds,
-            succs,
-            by_chunk,
+            preds: Csr::from_rows(&preds),
+            succs: Csr::from_rows(&succs),
+            by_chunk: Csr::from_rows(&by_chunk),
+            resource_ids,
+            conflict_dense,
             by_resource,
             conflict_limit,
             n_chunks,
@@ -162,6 +210,39 @@ impl DepDag {
         // construction — but validate anyway (defence in depth).
         dag.topo_order()?;
         Ok(dag)
+    }
+
+    /// Re-resolve every task's route against `topo` (same shape, possibly
+    /// different [health mask](rescc_topology::TopologyHealth)) and return
+    /// the patched DAG together with the ids of the tasks whose route
+    /// actually changed.
+    ///
+    /// Data-dependency edges are topology-independent (they follow the
+    /// algorithm's `(rank, chunk, step)` structure), so the adjacency
+    /// arenas are reused as-is; only the tasks' conflict/path sets and the
+    /// resource index are rebuilt. This is the analysis step of delta
+    /// recompilation: `O(tasks)` with no edge re-derivation.
+    pub fn reroute(&self, topo: &Topology) -> Result<(Self, Vec<TaskId>)> {
+        let mut patched = self.clone();
+        let mut dirty = Vec::new();
+        for t in &mut patched.tasks {
+            let conn = topo.connection(t.src, t.dst);
+            let inter = matches!(conn.kind, PathKind::Inter { .. });
+            if t.conflict != conn.conflict || t.path != conn.path || t.inter_node != inter {
+                t.conflict = conn.conflict;
+                t.path = conn.path;
+                t.inter_node = inter;
+                dirty.push(t.id);
+            }
+        }
+        if !dirty.is_empty() {
+            let (ids, dense, by_res, limits) = index_resources(&patched.tasks, topo)?;
+            patched.resource_ids = ids;
+            patched.conflict_dense = dense;
+            patched.by_resource = by_res;
+            patched.conflict_limit = limits;
+        }
+        Ok((patched, dirty))
     }
 
     /// Number of tasks.
@@ -186,12 +267,12 @@ impl DepDag {
 
     /// Data-dependency predecessors of `id`.
     pub fn preds(&self, id: TaskId) -> &[TaskId] {
-        &self.preds[id.index()]
+        self.preds.row(id.index())
     }
 
     /// Data-dependency successors of `id`.
     pub fn succs(&self, id: TaskId) -> &[TaskId] {
-        &self.succs[id.index()]
+        self.succs.row(id.index())
     }
 
     /// Number of chunks (== ranks).
@@ -201,17 +282,41 @@ impl DepDag {
 
     /// The per-chunk DAG `G[C]`: tasks of `chunk` sorted by step.
     pub fn chunk_tasks(&self, chunk: ChunkId) -> &[TaskId] {
-        &self.by_chunk[chunk.index()]
+        self.by_chunk.row(chunk.index())
     }
 
     /// Tasks that occupy contention resource `res`.
     pub fn resource_tasks(&self, res: ResourceId) -> &[TaskId] {
-        self.by_resource.get(&res).map(Vec::as_slice).unwrap_or(&[])
+        match self.dense_resource(res) {
+            Some(d) => self.by_resource.row(d as usize),
+            None => &[],
+        }
     }
 
-    /// All resources any task occupies.
+    /// All resources any task occupies, ascending.
     pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
-        self.by_resource.keys().copied()
+        self.resource_ids.iter().copied()
+    }
+
+    /// How many distinct conflict resources the DAG's tasks occupy. Dense
+    /// indices run `0..n_dense_resources()`.
+    pub fn n_dense_resources(&self) -> usize {
+        self.resource_ids.len()
+    }
+
+    /// The dense index of `res`, if any task occupies it.
+    pub fn dense_resource(&self, res: ResourceId) -> Option<u32> {
+        self.resource_ids.binary_search(&res).ok().map(|i| i as u32)
+    }
+
+    /// The resource at a dense index.
+    pub fn resource_at(&self, dense: u32) -> ResourceId {
+        self.resource_ids[dense as usize]
+    }
+
+    /// The conflict resources of `id` as dense indices.
+    pub fn conflict_dense(&self, id: TaskId) -> &DenseResSet {
+        &self.conflict_dense[id.index()]
     }
 
     /// Communication dependency: do the two tasks share a contention
@@ -225,21 +330,22 @@ impl DepDag {
     /// How many concurrent tasks conflict resource `res` admits before
     /// contention arises (its `saturation_tbs`).
     pub fn conflict_limit(&self, res: ResourceId) -> u32 {
-        self.conflict_limit.get(&res).copied().unwrap_or(1)
+        match self.dense_resource(res) {
+            Some(d) => self.conflict_limit[d as usize],
+            None => 1,
+        }
+    }
+
+    /// [`Self::conflict_limit`] by dense index (no lookup).
+    pub fn conflict_limit_at(&self, dense: u32) -> u32 {
+        self.conflict_limit[dense as usize]
     }
 
     /// A topological order of the data-dependency DAG (Kahn's algorithm).
     /// Returns an error when a cycle exists.
     pub fn topo_order(&self) -> Result<Vec<TaskId>> {
         let n = self.tasks.len();
-        let mut indeg: Vec<u32> = vec![0; n];
-        for p in &self.preds {
-            // indeg of a node = number of its predecessors
-            let _ = p;
-        }
-        for (i, p) in self.preds.iter().enumerate() {
-            indeg[i] = p.len() as u32;
-        }
+        let mut indeg: Vec<u32> = (0..n).map(|i| self.preds.row(i).len() as u32).collect();
         let mut queue: Vec<TaskId> = (0..n as u32)
             .map(TaskId::new)
             .filter(|id| indeg[id.index()] == 0)
@@ -247,7 +353,7 @@ impl DepDag {
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop() {
             order.push(id);
-            for &s in &self.succs[id.index()] {
+            for &s in self.succs.row(id.index()) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
                     queue.push(s);
@@ -286,8 +392,8 @@ impl DepDag {
             }
             pos[id.index()] = i;
         }
-        for (i, p) in self.preds.iter().enumerate() {
-            for dep in p {
+        for i in 0..n {
+            for dep in self.preds.row(i) {
                 if pos[dep.index()] > pos[i] {
                     return Err(IrError::new(format!(
                         "task t{i} scheduled before its dependency {dep}"
@@ -297,6 +403,54 @@ impl DepDag {
         }
         Ok(())
     }
+}
+
+/// Build the dense resource index: the sorted resource table, per-task
+/// dense conflict sets, the per-resource task CSR, and per-resource
+/// conflict limits.
+#[allow(clippy::type_complexity)]
+fn index_resources(
+    tasks: &[Task],
+    topo: &Topology,
+) -> Result<(Vec<ResourceId>, Vec<DenseResSet>, Csr, Vec<u32>)> {
+    let mut resource_ids: Vec<ResourceId> = tasks
+        .iter()
+        .flat_map(|t| t.conflict.iter())
+        .collect::<Vec<_>>();
+    resource_ids.sort_unstable();
+    resource_ids.dedup();
+
+    let dense_of = |r: ResourceId| -> u32 {
+        resource_ids
+            .binary_search(&r)
+            .expect("resource collected above") as u32
+    };
+
+    let mut conflict_dense = Vec::with_capacity(tasks.len());
+    let mut rows: Vec<Vec<TaskId>> = vec![Vec::new(); resource_ids.len()];
+    for t in tasks {
+        let mut set = DenseResSet::default();
+        for r in t.conflict.iter() {
+            let d = dense_of(r);
+            set.push(d);
+            rows[d as usize].push(t.id);
+        }
+        conflict_dense.push(set);
+    }
+
+    let mut conflict_limit = Vec::with_capacity(resource_ids.len());
+    for &r in &resource_ids {
+        let params = topo
+            .resource_params(r)
+            .map_err(|e| IrError::new(e.to_string()))?;
+        conflict_limit.push(params.saturation_tbs.max(1));
+    }
+    Ok((
+        resource_ids,
+        conflict_dense,
+        Csr::from_rows(&rows),
+        conflict_limit,
+    ))
 }
 
 fn add_edge(preds: &mut [Vec<TaskId>], succs: &mut [Vec<TaskId>], from: TaskId, to: TaskId) {
@@ -429,6 +583,63 @@ mod tests {
             .find(|t| t.src == Rank::new(2) && t.dst == Rank::new(3))
             .unwrap();
         assert!(!dag.interferes(t01.id, t23.id));
+    }
+
+    #[test]
+    fn dense_resource_index_round_trips() {
+        let topo = Topology::a100(2, 4);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        assert!(dag.n_dense_resources() > 0);
+        for (i, r) in dag.resources().enumerate() {
+            assert_eq!(dag.dense_resource(r), Some(i as u32));
+            assert_eq!(dag.resource_at(i as u32), r);
+            assert_eq!(dag.conflict_limit(r), dag.conflict_limit_at(i as u32));
+            assert!(!dag.resource_tasks(r).is_empty());
+        }
+        // Per-task dense sets mirror the ResourceSet conflicts.
+        for t in dag.tasks() {
+            let dense = dag.conflict_dense(t.id);
+            assert_eq!(dense.as_slice().len(), t.conflict.len());
+            for &d in dense.as_slice() {
+                assert!(t.conflict.contains(dag.resource_at(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn reroute_is_identity_on_same_health() {
+        let topo = Topology::a100(2, 4);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        let (same, dirty) = dag.reroute(&topo).unwrap();
+        assert!(dirty.is_empty());
+        assert_eq!(same, dag);
+    }
+
+    #[test]
+    fn reroute_flags_only_affected_tasks() {
+        use rescc_topology::TopologyHealth;
+        let topo = Topology::a100(1, 8);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+        let mut mask = TopologyHealth::healthy();
+        mask.mask(chan);
+        let degraded = Topology::a100(1, 8).with_health(mask);
+        let (patched, dirty) = dag.reroute(&degraded).unwrap();
+        assert!(!dirty.is_empty());
+        // Exactly the tasks whose direct route used the dead channel moved.
+        for t in dag.tasks() {
+            let moved = dirty.contains(&t.id);
+            let used_chan = t.src == Rank::new(0) && t.dst == Rank::new(1);
+            assert_eq!(moved, used_chan, "task {t:?}");
+            if !moved {
+                assert_eq!(patched.task(t.id), t);
+            } else {
+                assert!(!patched.task(t.id).conflict.contains(chan));
+            }
+        }
+        // The patched DAG matches a from-scratch build on the degraded topo.
+        let fresh = DepDag::build(&ring_ag(8), &degraded).unwrap();
+        assert_eq!(patched, fresh);
     }
 
     #[test]

@@ -156,6 +156,10 @@ pub struct ObsStats {
     pub retries: u64,
     /// Watchdog mask+recompile cycles after permanent resource loss.
     pub recompiles: u64,
+    /// The subset of [`recompiles`](Self::recompiles) served incrementally:
+    /// the cached plan was rerouted and spliced
+    /// (`Compiler::recompile_delta`) instead of recompiled from scratch.
+    pub delta_recompiles: u64,
     /// Total simulated time spent in watchdog backoff waits, ns.
     pub backoff_ns: f64,
     /// Every span recorded during the run, in emission order.
@@ -244,6 +248,24 @@ impl ObsStats {
         ));
     }
 
+    /// Record that a mask+recompile cycle was served incrementally — the
+    /// watchdog rerouted and spliced the cached plan rather than running a
+    /// full compile. Rides alongside [`add_recompile`](Self::add_recompile)
+    /// (which counts the cycle itself); the splice's wall-clock phase cost
+    /// is folded in via [`add_compile`](Self::add_compile) like any other
+    /// compile.
+    pub fn add_delta_recompile(&mut self, start_ns: f64, dur_ns: f64) {
+        self.delta_recompiles += 1;
+        self.spans.push(Span::new(
+            "watchdog",
+            "splice-delta",
+            SpanCategory::Recovery,
+            TimeDomain::Sim,
+            start_ns,
+            dur_ns,
+        ));
+    }
+
     /// Merge another run's stats into this one (used when a harness
     /// aggregates several collective calls).
     pub fn merge(&mut self, other: &ObsStats) {
@@ -256,6 +278,7 @@ impl ObsStats {
         self.cache_misses += other.cache_misses;
         self.retries += other.retries;
         self.recompiles += other.recompiles;
+        self.delta_recompiles += other.delta_recompiles;
         self.backoff_ns += other.backoff_ns;
         self.spans.extend(other.spans.iter().cloned());
     }

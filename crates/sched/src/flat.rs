@@ -1,0 +1,292 @@
+//! Shared flat scheduling state for the rearchitected HPDS and RR.
+//!
+//! The seed schedulers (kept in [`crate::reference`]) spend their time in
+//! three places at scale: an `O(n_chunks)` linear scan per chunk
+//! selection, `HashMap<ResourceId, u32>` load lookups on every conflict
+//! check, and a rescan of a chunk's *entire* unscheduled task list on
+//! every visit even when only one task is data-free. This module replaces
+//! all three with flat arrays over the DAG's dense resource index:
+//!
+//! * per-chunk **free lists** hold exactly the data-free unscheduled tasks
+//!   in `(step, id)` order — the order the reference scan would discover
+//!   them — so a visit is `O(free)` instead of `O(pending)`;
+//! * per-resource sub-pipeline load is a `Vec<u32>` indexed by the DAG's
+//!   dense resource index — conflict checks are array reads;
+//! * chunk visits are grouped into **waves** that the caller derives from
+//!   its selection rule (HPDS: all flagged chunks at the current maximum
+//!   priority, ascending id; RR: one full pass). Within a wave, chunks are
+//!   *speculatively* gathered in parallel against the load state frozen at
+//!   wave start, then committed serially in wave order. A commit is valid
+//!   iff none of the accepted tasks' resources were loaded by an earlier
+//!   commit of the same wave — loads only grow, so rejections can never
+//!   flip back — and an invalidated chunk is simply re-gathered serially
+//!   against the live state. The result is bit-identical to the serial
+//!   visit order for any thread count (property-tested against the
+//!   reference implementations).
+//!
+//! Data-dependency edges always connect tasks of the *same* chunk, so a
+//! commit only ever frees tasks in the committed chunk itself — wave
+//! members cannot change each other's eligibility, only their resource
+//! loads, which is exactly what commit validation checks.
+
+use rescc_ir::{DepDag, TaskId};
+use rescc_topology::ChunkId;
+
+/// Minimum wave width before speculation is worth a round of thread
+/// spawns; below this the serial visit loop wins.
+const MIN_PARALLEL_WAVE: usize = 16;
+
+/// Mutable scheduling state over a [`DepDag`], flattened onto the dense
+/// resource index.
+pub(crate) struct FlatState<'a> {
+    dag: &'a DepDag,
+    /// Unscheduled-predecessor count per task.
+    remaining_preds: Vec<u32>,
+    /// Per-chunk data-free unscheduled tasks, in `(step, id)` order.
+    free: Vec<Vec<TaskId>>,
+    /// Per-chunk unscheduled task count (free or not).
+    pending: Vec<u32>,
+    /// Current sub-pipeline load per dense resource.
+    pc_load: Vec<u32>,
+    /// Saturation limit per dense resource (cached from the DAG).
+    limit: Vec<u32>,
+    /// Wave stamp per dense resource: `dirty[d] == wave_id` iff an earlier
+    /// commit of the current wave loaded `d`.
+    dirty: Vec<u64>,
+    wave_id: u64,
+    /// Per-visit claim scratch (dense-indexed) and its touched list.
+    claim: Vec<u32>,
+    claim_touched: Vec<u32>,
+    /// Total unscheduled tasks.
+    pub(crate) remaining: usize,
+}
+
+impl<'a> FlatState<'a> {
+    pub(crate) fn new(dag: &'a DepDag) -> Self {
+        let n = dag.len();
+        let n_chunks = dag.n_chunks() as usize;
+        let n_res = dag.n_dense_resources();
+        let remaining_preds: Vec<u32> = (0..n)
+            .map(|i| dag.preds(TaskId::new(i as u32)).len() as u32)
+            .collect();
+        let mut free = Vec::with_capacity(n_chunks);
+        let mut pending = Vec::with_capacity(n_chunks);
+        for c in 0..n_chunks {
+            let tasks = dag.chunk_tasks(ChunkId::new(c as u32));
+            // `chunk_tasks` is (step, id)-sorted; the data-free subset
+            // inherits that order.
+            free.push(
+                tasks
+                    .iter()
+                    .copied()
+                    .filter(|t| remaining_preds[t.index()] == 0)
+                    .collect(),
+            );
+            pending.push(tasks.len() as u32);
+        }
+        Self {
+            dag,
+            remaining_preds,
+            free,
+            pending,
+            pc_load: vec![0; n_res],
+            limit: (0..n_res as u32)
+                .map(|d| dag.conflict_limit_at(d))
+                .collect(),
+            dirty: vec![0; n_res],
+            wave_id: 0,
+            claim: vec![0; n_res],
+            claim_touched: Vec::new(),
+            remaining: n,
+        }
+    }
+
+    /// Does chunk `c` still have unscheduled tasks?
+    pub(crate) fn has_pending(&self, c: usize) -> bool {
+        self.pending[c] > 0
+    }
+
+    /// Reset per-sub-pipeline state (call when sealing a sub-pipeline).
+    pub(crate) fn start_sub_pipeline(&mut self) {
+        self.pc_load.fill(0);
+    }
+
+    /// Gather chunk `c`'s schedulable tasks against `loads` (the reference
+    /// algorithm's lines 10–15): every free task whose conflict resources
+    /// all stay below saturation given `loads` plus the claims of tasks
+    /// accepted earlier in this same gather.
+    fn gather(
+        free: &[TaskId],
+        dag: &DepDag,
+        loads: &[u32],
+        limit: &[u32],
+        claim: &mut [u32],
+        claim_touched: &mut Vec<u32>,
+    ) -> Vec<TaskId> {
+        let mut node_list = Vec::new();
+        for &tid in free {
+            let res = dag.conflict_dense(tid);
+            let conflict = res
+                .as_slice()
+                .iter()
+                .any(|&d| loads[d as usize] + claim[d as usize] >= limit[d as usize]);
+            if !conflict {
+                node_list.push(tid);
+                for &d in res.as_slice() {
+                    if claim[d as usize] == 0 {
+                        claim_touched.push(d);
+                    }
+                    claim[d as usize] += 1;
+                }
+            }
+        }
+        for &d in claim_touched.iter() {
+            claim[d as usize] = 0;
+        }
+        claim_touched.clear();
+        node_list
+    }
+
+    /// Gather chunk `c` against the live load state (exact, serial).
+    fn gather_live(&mut self, c: usize) -> Vec<TaskId> {
+        Self::gather(
+            &self.free[c],
+            self.dag,
+            &self.pc_load,
+            &self.limit,
+            &mut self.claim,
+            &mut self.claim_touched,
+        )
+    }
+
+    /// Apply an exact gather result: load resources, pop accepted tasks
+    /// from the free list, release successors, append to `pc`.
+    fn apply(&mut self, c: usize, node_list: &[TaskId], pc: &mut Vec<TaskId>) {
+        debug_assert!(!node_list.is_empty());
+        for &tid in node_list {
+            for &d in self.dag.conflict_dense(tid).as_slice() {
+                self.pc_load[d as usize] += 1;
+                self.dirty[d as usize] = self.wave_id;
+            }
+        }
+        // `node_list` is an ordered subsequence of `free[c]`: drop its
+        // members with one linear merge walk.
+        let mut next = 0usize;
+        self.free[c].retain(|t| {
+            if next < node_list.len() && *t == node_list[next] {
+                next += 1;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(next, node_list.len());
+        // Release data dependents. Every successor is in chunk `c` itself
+        // (dependency edges are intra-chunk), and its step exceeds its
+        // predecessor's, so ordered insertion keeps the free list sorted.
+        for &tid in node_list {
+            for &s in self.dag.succs(tid) {
+                self.remaining_preds[s.index()] -= 1;
+                if self.remaining_preds[s.index()] == 0 {
+                    let key = |t: TaskId| (self.dag.task(t).step, t);
+                    let pos = self.free[c].partition_point(|&t| key(t) < key(s));
+                    self.free[c].insert(pos, s);
+                }
+            }
+        }
+        self.pending[c] -= node_list.len() as u32;
+        self.remaining -= node_list.len();
+        pc.extend_from_slice(node_list);
+    }
+
+    /// Visit one chunk exactly (serial path): gather against live loads
+    /// and apply. Returns whether the chunk contributed anything.
+    pub(crate) fn visit(&mut self, c: usize, pc: &mut Vec<TaskId>) -> bool {
+        if self.free[c].is_empty() {
+            return false;
+        }
+        let node_list = self.gather_live(c);
+        if node_list.is_empty() {
+            return false;
+        }
+        self.apply(c, &node_list, pc);
+        true
+    }
+
+    /// Visit every chunk of `wave` in order, speculating in parallel when
+    /// `threads > 1` and the wave is wide enough. `contributed[i]` is set
+    /// iff `wave[i]` added at least one task. Bit-identical to calling
+    /// [`Self::visit`] serially over `wave`.
+    pub(crate) fn process_wave(
+        &mut self,
+        wave: &[u32],
+        threads: usize,
+        pc: &mut Vec<TaskId>,
+        contributed: &mut Vec<bool>,
+    ) {
+        contributed.clear();
+        contributed.resize(wave.len(), false);
+        let workers = threads.min(wave.len() / (MIN_PARALLEL_WAVE / 2).max(1));
+        if workers <= 1 || wave.len() < MIN_PARALLEL_WAVE {
+            for (i, &c) in wave.iter().enumerate() {
+                contributed[i] = self.visit(c as usize, pc);
+            }
+            return;
+        }
+
+        // Speculation phase: gather every wave member against the load
+        // state frozen at wave start. Workers share the immutable state;
+        // each has its own claim scratch.
+        let mut spec: Vec<Vec<TaskId>> = vec![Vec::new(); wave.len()];
+        let stride = wave.len().div_ceil(workers);
+        let (dag, free, loads, limit) = (self.dag, &self.free, &self.pc_load, &self.limit);
+        std::thread::scope(|scope| {
+            for (slot, chunk_ids) in spec.chunks_mut(stride).zip(wave.chunks(stride)) {
+                scope.spawn(move || {
+                    let mut claim = vec![0u32; loads.len()];
+                    let mut touched = Vec::new();
+                    for (out, &c) in slot.iter_mut().zip(chunk_ids) {
+                        *out = Self::gather(
+                            &free[c as usize],
+                            dag,
+                            loads,
+                            limit,
+                            &mut claim,
+                            &mut touched,
+                        );
+                    }
+                });
+            }
+        });
+
+        // Commit phase, in wave order. A speculative gather is exact iff
+        // none of its accepted tasks' resources were loaded by an earlier
+        // commit of this wave (loads are monotone within a sub-pipeline,
+        // so speculative *rejections* can never become acceptances).
+        self.wave_id += 1;
+        for (i, &c) in wave.iter().enumerate() {
+            let c = c as usize;
+            let mut node_list = std::mem::take(&mut spec[i]);
+            if node_list.is_empty() {
+                // Free list was empty or everything conflicted against the
+                // frozen loads; live loads are only higher.
+                continue;
+            }
+            let stale = node_list.iter().any(|&tid| {
+                self.dag
+                    .conflict_dense(tid)
+                    .as_slice()
+                    .iter()
+                    .any(|&d| self.dirty[d as usize] == self.wave_id)
+            });
+            if stale {
+                node_list = self.gather_live(c);
+                if node_list.is_empty() {
+                    continue;
+                }
+            }
+            self.apply(c, &node_list, pc);
+            contributed[i] = true;
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Hierarchical Priority-based Dynamic Scheduling — Algorithm 1 of the
-//! paper, implemented line-for-line.
+//! paper.
 //!
 //! Given the dependency DAG `G`, HPDS builds the global pipeline `P_r` as a
 //! sequence of sub-pipelines `P_c`. Each inner round picks the
@@ -11,92 +11,81 @@
 //! contribute has its flag cleared. When every flag is false the
 //! sub-pipeline is sealed and appended to `P_r`; the outer loop repeats
 //! until the DAG is drained.
+//!
+//! This implementation is the rearchitected fast path (see
+//! [`crate::flat`] for the state layout and the speculative wave
+//! parallelism): chunk selection is a lazy max-heap instead of a linear
+//! scan, and because priorities only ever decay, consecutive selections
+//! form **waves** — every flagged chunk at the current maximum priority,
+//! in ascending chunk id — which are exactly the parallel work units.
+//! Output is bit-identical to [`crate::hpds_reference`] for every thread
+//! count (property-tested).
 
+use crate::flat::FlatState;
 use crate::schedule::Schedule;
 use rescc_ir::{DepDag, TaskId};
-use rescc_topology::{ChunkId, ResourceId};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Run HPDS over a dependency DAG, producing a validated schedule.
 pub fn hpds(dag: &DepDag) -> Schedule {
+    hpds_with_threads(dag, 1)
+}
+
+/// [`hpds`] with chunk gathering fanned out over `threads` worker threads
+/// (speculative wave execution; identical output for any thread count).
+pub fn hpds_with_threads(dag: &DepDag, threads: usize) -> Schedule {
     let n_chunks = dag.n_chunks() as usize;
-    let n = dag.len();
-
-    // Remaining-predecessor counts drive "without data dependency".
-    let mut remaining_preds: Vec<u32> = (0..n)
-        .map(|i| dag.preds(TaskId::new(i as u32)).len() as u32)
-        .collect();
-    let mut scheduled = vec![false; n];
-    // Per-chunk cursor over `dag.chunk_tasks` is not enough (tasks free up
-    // out of order), so track per-chunk unscheduled sets as Vecs.
-    let mut chunk_pending: Vec<Vec<TaskId>> = (0..n_chunks)
-        .map(|c| dag.chunk_tasks(ChunkId::new(c as u32)).to_vec())
-        .collect();
-
-    // Priority per chunk: starts at 0, decremented each time the chunk
-    // contributes a NodeList (line 20). Selection = max priority among
-    // flagged chunks, ties broken by chunk id for determinism.
+    let mut st = FlatState::new(dag);
     let mut priority: Vec<i64> = vec![0; n_chunks];
-
-    let mut remaining = n;
     let mut sub_pipelines: Vec<Vec<TaskId>> = Vec::new();
 
-    while remaining > 0 {
-        // Line 6-7: start a new sub-pipeline with all flags set.
+    // Line 9's `Q.GetHighestWithFlag(F)` as a max-heap of
+    // `(priority, Reverse(chunk))`: highest priority first, ties broken by
+    // lowest chunk id. Priorities only decay, and they decay exactly when
+    // a chunk is popped and contributes, so each chunk has at most one
+    // live entry and no stale entries can exist within a round.
+    let mut heap: BinaryHeap<(i64, Reverse<u32>)> = BinaryHeap::new();
+    let mut wave: Vec<u32> = Vec::new();
+    let mut contributed: Vec<bool> = Vec::new();
+
+    while st.remaining > 0 {
+        // Lines 6-7: start a new sub-pipeline with all flags set. Flags
+        // are implicit: a chunk is flagged iff it sits in the heap.
         let mut pc: Vec<TaskId> = Vec::new();
-        let mut pc_load: HashMap<ResourceId, u32> = HashMap::new();
-        let mut flags: Vec<bool> = (0..n_chunks)
-            .map(|c| !chunk_pending[c].is_empty())
-            .collect();
-
-        // Line 8: loop until no flagged chunk remains.
-        while let Some(c) = select_chunk(&flags, &priority) {
-            // Lines 10-15: gather the chunk's tasks that are data-free and
-            // communication-compatible with the current sub-pipeline.
-            let mut node_list: Vec<TaskId> = Vec::new();
-            let mut claimed: HashMap<ResourceId, u32> = HashMap::new();
-            for &tid in &chunk_pending[c] {
-                if remaining_preds[tid.index()] != 0 {
-                    continue;
-                }
-                // Communication dependency: a resource conflicts once its
-                // concurrent load would exceed its saturation (the Eq. 1
-                // contention threshold), not at the first sharing.
-                let res = dag.task(tid).conflict;
-                let conflict = res.iter().any(|r| {
-                    let load = pc_load.get(&r).copied().unwrap_or(0)
-                        + claimed.get(&r).copied().unwrap_or(0);
-                    load >= dag.conflict_limit(r)
-                });
-                if !conflict {
-                    node_list.push(tid);
-                    for r in res.iter() {
-                        *claimed.entry(r).or_insert(0) += 1;
-                    }
-                }
+        st.start_sub_pipeline();
+        heap.clear();
+        for (c, &p) in priority.iter().enumerate() {
+            if st.has_pending(c) {
+                heap.push((p, Reverse(c as u32)));
             }
+        }
 
-            if node_list.is_empty() {
-                // Lines 16-17: nothing usable — clear the flag.
-                flags[c] = false;
-            } else {
-                // Lines 18-23: insert, decay priority, update the DAG.
-                for &tid in &node_list {
-                    scheduled[tid.index()] = true;
-                    for &s in dag.succs(tid) {
-                        remaining_preds[s.index()] -= 1;
+        // Line 8: loop until no flagged chunk remains. One iteration
+        // drains a wave: every flagged chunk at the current maximum
+        // priority, in ascending id — the order the serial selection rule
+        // would visit them.
+        while let Some(&(p, _)) = heap.peek() {
+            wave.clear();
+            while let Some(&(p2, Reverse(c))) = heap.peek() {
+                if p2 != p {
+                    break;
+                }
+                heap.pop();
+                wave.push(c);
+            }
+            st.process_wave(&wave, threads, &mut pc, &mut contributed);
+            for (i, &c) in wave.iter().enumerate() {
+                if contributed[i] {
+                    // Lines 18-23: inserted — decay priority, keep the
+                    // flag while the chunk still has unscheduled tasks.
+                    priority[c as usize] -= 1;
+                    if st.has_pending(c as usize) {
+                        heap.push((priority[c as usize], Reverse(c)));
                     }
                 }
-                chunk_pending[c].retain(|t| !scheduled[t.index()]);
-                remaining -= node_list.len();
-                for (r, n) in claimed {
-                    *pc_load.entry(r).or_insert(0) += n;
-                }
-                pc.extend(node_list);
-                priority[c] -= 1;
-                if chunk_pending[c].is_empty() {
-                    flags[c] = false;
-                }
+                // Lines 16-17: nothing usable — flag stays cleared (the
+                // chunk is simply not re-pushed this round).
             }
         }
 
@@ -110,26 +99,10 @@ pub fn hpds(dag: &DepDag) -> Schedule {
     }
 }
 
-/// Line 9: `Q.GetHighestWithFlag(F)` — the flagged chunk with the highest
-/// priority; ties resolved by lowest chunk id to keep runs deterministic.
-fn select_chunk(flags: &[bool], priority: &[i64]) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for c in 0..flags.len() {
-        if !flags[c] {
-            continue;
-        }
-        match best {
-            None => best = Some(c),
-            Some(b) if priority[c] > priority[b] => best = Some(c),
-            _ => {}
-        }
-    }
-    best
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::hpds_reference;
     use rescc_lang::{AlgoBuilder, OpType};
     use rescc_topology::Topology;
 
@@ -181,6 +154,23 @@ mod tests {
         let topo = Topology::a100(2, 4);
         let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
         assert_eq!(hpds(&dag), hpds(&dag));
+    }
+
+    #[test]
+    fn hpds_matches_reference() {
+        for (nodes, gpus, ranks) in [(1, 8, 8), (2, 4, 8), (2, 8, 16), (4, 8, 32)] {
+            let topo = Topology::a100(nodes, gpus);
+            let dag = DepDag::build(&ring_ag(ranks), &topo).unwrap();
+            let want = hpds_reference(&dag);
+            assert_eq!(hpds(&dag), want, "serial flat vs reference @{ranks}");
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    hpds_with_threads(&dag, threads),
+                    want,
+                    "{threads}-thread vs reference @{ranks}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 mod analytic;
+mod flat;
 mod hpds;
+mod reference;
 mod rr;
 mod schedule;
 mod stage;
@@ -35,7 +37,8 @@ pub use analytic::{
     algorithm_level_time_ns, asymptotic_overheads, stage_level_time_ns, task_level_time_ns,
     LinkLoad,
 };
-pub use hpds::hpds;
-pub use rr::round_robin;
+pub use hpds::{hpds, hpds_with_threads};
+pub use reference::{hpds_reference, round_robin_reference};
+pub use rr::{round_robin, round_robin_with_threads};
 pub use schedule::Schedule;
 pub use stage::StagePartition;

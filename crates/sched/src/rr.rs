@@ -6,75 +6,42 @@
 //! correctness constraints as HPDS (the produced schedule validates), but
 //! ignores load balance, so frequently-conflicting chunks pile into late
 //! sub-pipelines and leave more bubbles.
+//!
+//! A full pass over the chunks is already a wave in the sense of
+//! [`crate::flat`], so RR shares the flat state and the speculative wave
+//! parallelism with HPDS. Output is bit-identical to
+//! [`crate::round_robin_reference`] for every thread count.
 
+use crate::flat::FlatState;
 use crate::schedule::Schedule;
 use rescc_ir::{DepDag, TaskId};
-use rescc_topology::{ChunkId, ResourceId};
-use std::collections::HashMap;
 
 /// Run the round-robin scheduler.
 pub fn round_robin(dag: &DepDag) -> Schedule {
+    round_robin_with_threads(dag, 1)
+}
+
+/// [`round_robin`] with chunk gathering fanned out over `threads` worker
+/// threads (speculative wave execution; identical output for any thread
+/// count).
+pub fn round_robin_with_threads(dag: &DepDag, threads: usize) -> Schedule {
     let n_chunks = dag.n_chunks() as usize;
-    let n = dag.len();
-
-    let mut remaining_preds: Vec<u32> = (0..n)
-        .map(|i| dag.preds(TaskId::new(i as u32)).len() as u32)
-        .collect();
-    let mut scheduled = vec![false; n];
-    let mut chunk_pending: Vec<Vec<TaskId>> = (0..n_chunks)
-        .map(|c| dag.chunk_tasks(ChunkId::new(c as u32)).to_vec())
-        .collect();
-
-    let mut remaining = n;
+    let mut st = FlatState::new(dag);
     let mut sub_pipelines: Vec<Vec<TaskId>> = Vec::new();
+    let mut wave: Vec<u32> = Vec::new();
+    let mut contributed: Vec<bool> = Vec::new();
 
-    while remaining > 0 {
+    while st.remaining > 0 {
         let mut pc: Vec<TaskId> = Vec::new();
-        let mut pc_load: HashMap<ResourceId, u32> = HashMap::new();
-        let mut progressed = true;
+        st.start_sub_pipeline();
         // Keep cycling the immutable chunk order until a full pass adds
         // nothing; then seal the sub-pipeline.
+        let mut progressed = true;
         while progressed {
-            progressed = false;
-            // Range loop: the body also mutates `chunk_pending[c]`.
-            #[allow(clippy::needless_range_loop)]
-            for c in 0..n_chunks {
-                let mut node_list: Vec<TaskId> = Vec::new();
-                let mut claimed: HashMap<ResourceId, u32> = HashMap::new();
-                for &tid in &chunk_pending[c] {
-                    if remaining_preds[tid.index()] != 0 {
-                        continue;
-                    }
-                    let res = dag.task(tid).conflict;
-                    let conflict = res.iter().any(|r| {
-                        let load = pc_load.get(&r).copied().unwrap_or(0)
-                            + claimed.get(&r).copied().unwrap_or(0);
-                        load >= dag.conflict_limit(r)
-                    });
-                    if !conflict {
-                        node_list.push(tid);
-                        for r in res.iter() {
-                            *claimed.entry(r).or_insert(0) += 1;
-                        }
-                    }
-                }
-                if node_list.is_empty() {
-                    continue;
-                }
-                for &tid in &node_list {
-                    scheduled[tid.index()] = true;
-                    for &s in dag.succs(tid) {
-                        remaining_preds[s.index()] -= 1;
-                    }
-                }
-                chunk_pending[c].retain(|t| !scheduled[t.index()]);
-                remaining -= node_list.len();
-                for (r, n) in claimed {
-                    *pc_load.entry(r).or_insert(0) += n;
-                }
-                pc.extend(node_list);
-                progressed = true;
-            }
+            wave.clear();
+            wave.extend((0..n_chunks as u32).filter(|&c| st.has_pending(c as usize)));
+            st.process_wave(&wave, threads, &mut pc, &mut contributed);
+            progressed = contributed.iter().any(|&b| b);
         }
         debug_assert!(!pc.is_empty(), "RR sub-pipeline made no progress");
         sub_pipelines.push(pc);
@@ -89,6 +56,7 @@ pub fn round_robin(dag: &DepDag) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::round_robin_reference;
     use rescc_lang::{AlgoBuilder, OpType};
     use rescc_topology::Topology;
 
@@ -116,5 +84,22 @@ mod tests {
         let topo = Topology::a100(2, 8);
         let dag = DepDag::build(&ring_ag(16), &topo).unwrap();
         assert_eq!(round_robin(&dag), round_robin(&dag));
+    }
+
+    #[test]
+    fn rr_matches_reference() {
+        for (nodes, gpus, ranks) in [(1, 8, 8), (2, 4, 8), (2, 8, 16), (4, 8, 32)] {
+            let topo = Topology::a100(nodes, gpus);
+            let dag = DepDag::build(&ring_ag(ranks), &topo).unwrap();
+            let want = round_robin_reference(&dag);
+            assert_eq!(round_robin(&dag), want, "serial flat vs reference @{ranks}");
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    round_robin_with_threads(&dag, threads),
+                    want,
+                    "{threads}-thread vs reference @{ranks}"
+                );
+            }
+        }
     }
 }

@@ -88,23 +88,56 @@ impl Schedule {
         // Rule 3: no intra-sub-pipeline oversubscription — a conflict
         // resource may carry at most `saturation_tbs` concurrent tasks.
         for (i, sp) in self.sub_pipelines.iter().enumerate() {
-            let mut load: HashMap<_, u32> = HashMap::new();
-            for &t in sp {
-                for r in dag.task(t).conflict.iter() {
-                    let l = load.entry(r).or_insert(0);
-                    *l += 1;
-                    if *l > dag.conflict_limit(r) {
-                        return Err(IrError::new(format!(
-                            "sub-pipeline {i}: task {t} oversubscribes resource {r} \
-                             (load {l} > saturation {})",
-                            dag.conflict_limit(r)
-                        )));
-                    }
-                }
-            }
+            check_sub_pipeline_loads(dag, i, sp)?;
         }
         Ok(())
     }
+
+    /// Targeted feasibility recheck after a reroute changed the conflict
+    /// sets of the `dirty` tasks (and of no others).
+    ///
+    /// A reroute touches neither the task set nor the dependency edges, so
+    /// rules 1 and 2 of [`Self::validate`] cannot break — and contention
+    /// loads (rule 3) can only have moved inside sub-pipelines that contain
+    /// a dirty task. This rechecks rule 3 on exactly those sub-pipelines
+    /// and returns their indices (so the caller can re-lint the same set),
+    /// at a cost proportional to the dirty region instead of the whole
+    /// pipeline. Errors match [`Self::validate`]'s rule-3 errors.
+    pub fn revalidate_dirty(&self, dag: &DepDag, dirty: &[TaskId]) -> Result<Vec<u32>, IrError> {
+        let mut is_dirty = vec![false; dag.len()];
+        for &t in dirty {
+            is_dirty[t.index()] = true;
+        }
+        let mut touched = Vec::new();
+        for (i, sp) in self.sub_pipelines.iter().enumerate() {
+            if !sp.iter().any(|t| is_dirty[t.index()]) {
+                continue;
+            }
+            touched.push(i as u32);
+            check_sub_pipeline_loads(dag, i, sp)?;
+        }
+        Ok(touched)
+    }
+}
+
+/// Rule 3 of [`Schedule::validate`] for one sub-pipeline: no conflict
+/// resource may carry more concurrent tasks than its saturation limit.
+fn check_sub_pipeline_loads(dag: &DepDag, i: usize, sp: &[TaskId]) -> Result<(), IrError> {
+    let mut load: HashMap<_, u32> = HashMap::new();
+    for &t in sp {
+        for r in dag.task(t).conflict.iter() {
+            let l = load.entry(r).or_insert(0);
+            *l += 1;
+            if *l > dag.conflict_limit(r) {
+                return Err(IrError::new(format!(
+                    "sub-pipeline {i}: task {t} oversubscribes resource {r} \
+                     (load {l} > saturation {})",
+                    dag.conflict_limit(r)
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

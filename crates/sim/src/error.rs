@@ -7,6 +7,7 @@
 //! retried. The `Display` prefix (`"simulation error: "`) is stable across
 //! every variant.
 
+use rescc_ir::IrError;
 use std::fmt;
 
 /// Error produced during simulation.
@@ -15,6 +16,15 @@ pub enum SimError {
     /// The kernel program is malformed or inconsistent with its DAG (also
     /// wraps compile-pipeline failures surfaced through the sim result).
     InvalidProgram(String),
+    /// The scheduler emitted a pipeline that failed validation — a compiler
+    /// bug, never an input error. Carries the validator's finding.
+    SchedulerBug(IrError),
+    /// The TB allocator emitted an allocation that failed validation — a
+    /// compiler bug. Carries the validator's finding.
+    AllocationBug(IrError),
+    /// Kernel generation emitted a program inconsistent with its DAG — a
+    /// compiler bug. Carries the validator's finding.
+    LoweringBug(IrError),
     /// Execution wedged: the event heap drained with invocations pending.
     Deadlock(String),
     /// The collective finished but produced wrong data.
@@ -75,6 +85,9 @@ impl fmt::Display for SimError {
             Self::InvalidProgram(msg) | Self::Deadlock(msg) | Self::Validation(msg) => {
                 write!(f, "{msg}")
             }
+            Self::SchedulerBug(e) => write!(f, "scheduler bug: {e}"),
+            Self::AllocationBug(e) => write!(f, "allocation bug: {e}"),
+            Self::LoweringBug(e) => write!(f, "lowering bug: {e}"),
             Self::ResourceDown {
                 resource,
                 task,
@@ -99,7 +112,14 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::SchedulerBug(e) | Self::AllocationBug(e) | Self::LoweringBug(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience alias.
 pub type SimResult<T> = std::result::Result<T, SimError>;
@@ -126,10 +146,28 @@ mod tests {
                 total: 8,
             },
             SimError::InvalidConfig("jitter 2".into()),
+            SimError::SchedulerBug(IrError::new("task 3 scheduled twice")),
+            SimError::AllocationBug(IrError::new("slot missing")),
+            SimError::LoweringBug(IrError::new("bad rendezvous")),
         ];
         for e in &errors {
             assert!(e.to_string().starts_with("simulation error: "), "{e}");
         }
+    }
+
+    #[test]
+    fn compiler_bug_variants_carry_their_source() {
+        use std::error::Error;
+        let inner = IrError::new("task 3 scheduled twice");
+        let e = SimError::SchedulerBug(inner.clone());
+        assert!(e.to_string().contains("scheduler bug:"), "{e}");
+        assert_eq!(
+            e.source().expect("has source").to_string(),
+            inner.to_string()
+        );
+        assert!(!e.is_transient());
+        assert!(!SimError::AllocationBug(inner.clone()).is_transient());
+        assert!(!SimError::LoweringBug(inner).is_transient());
     }
 
     #[test]
