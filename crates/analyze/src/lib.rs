@@ -148,6 +148,38 @@ pub fn analyze_rerouted(
     AnalysisReport::new(out)
 }
 
+/// Analyze a *residual* plan — the pruned remainder a partial-progress
+/// recovery compiles from a fault frontier.
+///
+/// A residual DAG keeps only the tasks with unfinished invocations; the
+/// completed prefix's transfers are gone, but their buffer contributions
+/// already landed (and are reconstructed by the resume replay). Every
+/// structural and routing lint still applies to the remainder exactly as
+/// to a fresh plan:
+///
+/// * RA001 — the residual combined order must still be acyclic;
+/// * RA002 — surviving writes to one slot must still be ordered;
+/// * RA003 — residual conflict loads must still fit under saturation;
+/// * RA005 — no surviving task may route over a masked resource.
+///
+/// RA004 (dead transfer) is deliberately **skipped**: it replays the
+/// plan's transfers against the spec's postcondition, and with the
+/// completed prefix pruned every chunk would spuriously appear to never
+/// reach it. The full plan already passed RA004 at its own compile; the
+/// pruned prefix's contributions are provenance-checked by the recovery
+/// layer instead.
+pub fn analyze_residual(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport {
+    let order = CombinedOrder::build(input.dag, input.program);
+    let mut out = Vec::new();
+    match order.topo_or_cycle() {
+        Err(_) => lints::ra001_deadlock(input, &order, &mut out),
+        Ok(topo) => lints::ra002_buffer_race(input, &order, &topo, &mut out),
+    }
+    lints::ra003_oversubscription(input, config, &mut out);
+    lints::ra005_degraded_soundness(input, &mut out);
+    AnalysisReport::new(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,15 +12,15 @@
 //!   intra-mesh + inter-ring) — the paper's expert choice for Clos
 //!   clusters.
 
-use crate::{RecoveryStats, RunReport, DEFAULT_CHUNK_BYTES};
+use crate::{RecoveryAction, RecoveryEvent, RecoveryStats, RunReport, DEFAULT_CHUNK_BYTES};
 use rescc_algos::{
     hm_allgather, hm_allreduce, hm_reduce_scatter, recursive_halving_doubling_allreduce,
 };
-use rescc_core::{plan_fingerprint, CacheStats, Compiler, PlanCache};
+use rescc_core::{plan_fingerprint, CacheStats, CompiledPlan, Compiler, PlanCache, ResidualPlan};
 use rescc_ir::MicroBatchPlan;
 use rescc_lang::{AlgoSpec, OpType};
 use rescc_obs::ObsStats;
-use rescc_sim::{FaultTimeline, SimConfig, SimError, SimResult};
+use rescc_sim::{FaultFrontier, FaultTimeline, SimConfig, SimError, SimResult};
 use rescc_topology::{ResourceId, Topology, TopologyHealth};
 use std::collections::HashMap;
 
@@ -129,6 +129,14 @@ impl Communicator {
         self
     }
 
+    /// Replace the fault schedule in place — the chaos harness re-arms the
+    /// same communicator between collectives, and healing reacts to it: a
+    /// masked resource whose *current* schedule no longer declares it
+    /// permanently dead is un-masked at the next collective boundary.
+    pub fn set_faults(&mut self, faults: FaultTimeline) {
+        self.faults = faults;
+    }
+
     /// Override the watchdog/retry policy.
     pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
         self.policy = policy;
@@ -228,6 +236,30 @@ impl Communicator {
             !self.faults.is_empty() || self.policy.deadline_ns.is_some() || !self.health.is_empty();
         let mut stats = RecoveryStats::default();
         let mut obs = self.observe.then(ObsStats::default);
+        // Healing: a masked resource whose current fault schedule no
+        // longer declares it permanently dead has been restored — un-mask
+        // it and fail back to the healthier plan at this collective
+        // boundary (the dispatch below picks it up via the fingerprint).
+        let restored: Vec<ResourceId> = self
+            .health
+            .dead()
+            .iter()
+            .copied()
+            .filter(|r| !self.faults.is_permanent_down(*r))
+            .collect();
+        for r in restored {
+            self.health.unmask(r);
+            stats.heals += 1;
+            stats.journal.push(RecoveryEvent {
+                attempt: 0,
+                cause: format!("{r} restored"),
+                at_ns: 0.0,
+                action: RecoveryAction::Heal,
+            });
+            if let Some(o) = obs.as_mut() {
+                o.add_heal(0.0, 0.0);
+            }
+        }
         // Wall-clock offset on the compiler track where the next
         // compile's phase spans start (successive recompiles stack).
         let mut compile_at = 0.0f64;
@@ -235,6 +267,12 @@ impl Communicator {
         // replays the fault timeline shifted into the past by this much,
         // so a flap that already passed stays passed.
         let mut elapsed = 0.0f64;
+        // Completed invocations accumulated across aborted attempts, in
+        // the id space of the full (non-residual) plan — stable across
+        // delta recompiles (reroutes preserve task ids) and across full
+        // recompiles (the DAG is rebuilt deterministically from the same
+        // spec). While non-empty, each attempt resumes from it.
+        let mut acc: Option<FaultFrontier> = None;
         loop {
             let topo = self.topo.clone().with_health(self.health.clone());
             let plan = self
@@ -290,7 +328,29 @@ impl Communicator {
             if self.observe {
                 cfg = cfg.with_trace().with_observability();
             }
-            match plan.run_with(buffer_bytes, chunk, &cfg) {
+            // Partial-progress resume: while the accumulated frontier is
+            // non-empty, compile the residual plan (pruned + re-rooted,
+            // sanitize re-run, provenance verified) and run only the
+            // remainder. A frontier the residual compiler refuses falls
+            // back to a plain restart — correctness never depends on the
+            // resume succeeding.
+            let residual: Option<ResidualPlan> = match &acc {
+                Some(f) if !f.is_empty() => self.compiler.residual_plan(&plan, f).ok(),
+                _ => None,
+            };
+            let attempt = match &residual {
+                Some(r) => {
+                    stats.resumes += 1;
+                    if let Some(o) = obs.as_mut() {
+                        o.add_resume(stats.resumes as u64, elapsed, 0.0);
+                    }
+                    let cfg = cfg.clone().with_resume(r.resume.clone());
+                    r.plan.run_with(buffer_bytes, chunk, &cfg)
+                }
+                None => plan.run_with(buffer_bytes, chunk, &cfg),
+            };
+            let exec_plan: &CompiledPlan = residual.as_ref().map_or(&plan, |r| &r.plan);
+            match attempt {
                 Ok(sim) => {
                     stats.recovery_ns = elapsed;
                     stats.dead_resources = self.health.dead().iter().map(|r| r.0).collect();
@@ -300,8 +360,8 @@ impl Communicator {
                         backend: "resccl".to_string(),
                         algo: spec.name().to_string(),
                         buffer_bytes,
-                        total_tbs: plan.alloc.total_tbs(),
-                        max_rank_tbs: plan.alloc.max_rank_tbs(),
+                        total_tbs: exec_plan.alloc.total_tbs(),
+                        max_rank_tbs: exec_plan.alloc.max_rank_tbs(),
                         sim,
                         cache: Some(self.cache.stats()),
                         recovery: engaged.then_some(stats),
@@ -313,16 +373,30 @@ impl Communicator {
                     if stats.retries > self.policy.max_retries {
                         return Err(err);
                     }
-                    let failed_at = match &err {
-                        SimError::ResourceDown { at_ns, .. } => *at_ns as f64,
-                        SimError::DeadlineExceeded { deadline_ns, .. } => *deadline_ns as f64,
-                        _ => 0.0,
-                    };
+                    let failed_at = err.at_ns().unwrap_or(0) as f64;
+                    let resumable =
+                        absorb_frontier(err.frontier(), &residual, plan.dag.len() as u32, &mut acc);
                     let backoff = self.policy.backoff_ns(stats.retries);
                     if let Some(o) = obs.as_mut() {
                         o.add_retry(stats.retries as u64, elapsed, failed_at);
                         o.add_backoff(elapsed + failed_at, backoff);
                     }
+                    stats.journal.push(RecoveryEvent {
+                        attempt: stats.retries + stats.recompiles,
+                        cause: match &err {
+                            SimError::ResourceDown { resource, .. } => {
+                                format!("transient r{resource} down")
+                            }
+                            SimError::DeadlineExceeded { .. } => "deadline".to_string(),
+                            _ => "transient".to_string(),
+                        },
+                        at_ns: elapsed + failed_at,
+                        action: if resumable {
+                            RecoveryAction::Resume
+                        } else {
+                            RecoveryAction::Retry
+                        },
+                    });
                     elapsed += failed_at + backoff;
                 }
                 Err(SimError::ResourceDown {
@@ -330,6 +404,7 @@ impl Communicator {
                     task,
                     at_ns,
                     permanent: true,
+                    frontier,
                 }) => {
                     stats.recompiles += 1;
                     if stats.recompiles > self.policy.max_recompiles
@@ -343,21 +418,35 @@ impl Communicator {
                             task,
                             at_ns,
                             permanent: true,
+                            frontier,
                         });
                     }
+                    // Fold the aborted attempt's completed work in before
+                    // the plan changes under us — the post-recompile
+                    // dispatch resumes from it instead of restarting.
+                    absorb_frontier(
+                        frontier.as_deref(),
+                        &residual,
+                        plan.dag.len() as u32,
+                        &mut acc,
+                    );
                     // Incremental recompile: reroute the just-failed plan
                     // around the freshly-masked resource and splice
                     // (`Compiler::recompile_delta`), caching the result
                     // under the degraded fingerprint so the dispatch at the
                     // top of the loop hits instead of compiling the whole
-                    // pipeline again. If the splice is denied (no healthy
-                    // route — the deny gate fires), fall through: the full
-                    // compile at the top of the loop reports the identical
-                    // lint error.
+                    // pipeline again. Residual plans never go through the
+                    // delta path — the recompile always starts from the
+                    // full cached plan, and the next dispatch re-prunes.
+                    // If the splice is denied (no healthy route — the deny
+                    // gate fires), fall through: the full compile at the
+                    // top of the loop reports the identical lint error.
+                    let mut action = RecoveryAction::FullRecompile;
                     if let Ok(delta) = self.compiler.recompile_delta(&plan, &self.health) {
                         let degraded = self.topo.clone().with_health(self.health.clone());
                         let fp = plan_fingerprint(&self.compiler, &spec, &degraded, &mb);
                         stats.delta_recompiles += 1;
+                        action = RecoveryAction::DeltaRecompile;
                         if let Some(o) = obs.as_mut() {
                             compile_at =
                                 o.add_compile(&delta.timings, "compiler-delta", compile_at);
@@ -368,6 +457,12 @@ impl Communicator {
                     if let Some(o) = obs.as_mut() {
                         o.add_recompile(elapsed + at_ns as f64, self.policy.backoff_base_ns);
                     }
+                    stats.journal.push(RecoveryEvent {
+                        attempt: stats.retries + stats.recompiles,
+                        cause: format!("r{resource} dead"),
+                        at_ns: elapsed + at_ns as f64,
+                        action,
+                    });
                     elapsed += at_ns as f64 + self.policy.backoff_base_ns;
                 }
                 // Invalid program/config, wrong data, deadlock, …: not
@@ -376,6 +471,31 @@ impl Communicator {
             }
         }
     }
+}
+
+/// Fold a just-aborted attempt's frontier into the accumulated one, mapping
+/// residual-space task ids back to the full plan's id space when the
+/// attempt ran a residual plan. Returns whether the accumulated frontier is
+/// now non-empty (i.e. the next attempt can resume).
+fn absorb_frontier(
+    frontier: Option<&FaultFrontier>,
+    residual: &Option<ResidualPlan>,
+    full_n_tasks: u32,
+    acc: &mut Option<FaultFrontier>,
+) -> bool {
+    if let Some(f) = frontier {
+        let mapped = match residual {
+            Some(r) => r.frontier_to_original(f, full_n_tasks),
+            None => f.clone(),
+        };
+        match acc {
+            Some(a) => {
+                a.union(&mapped);
+            }
+            None => *acc = Some(mapped),
+        }
+    }
+    acc.as_ref().is_some_and(|a| !a.is_empty())
 }
 
 #[cfg(test)]
@@ -601,6 +721,138 @@ mod tests {
         for w in compile_spans.windows(2) {
             assert!(w[0].end_ns() <= w[1].start_ns + 1e-6);
         }
+    }
+
+    #[test]
+    fn permanent_fault_resumes_from_frontier() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let healthy_ns = {
+            let mut h = Communicator::new(Topology::a100(2, 4)).with_validation();
+            h.all_reduce(64 * MB).unwrap().sim.completion_ns
+        };
+        // Kill well past the halfway point: most invocations completed,
+        // so the post-recompile attempt must resume, not restart.
+        let mut comm = Communicator::new(topo)
+            .with_validation()
+            .with_faults(FaultTimeline::new().kill(chan, healthy_ns * 0.6));
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.sim.data_valid, Some(true));
+        let rec = rep.recovery.expect("watchdog engaged");
+        assert!(rec.recompiles >= 1);
+        assert!(
+            rec.resumes >= 1,
+            "late fault must resume from the frontier: {rec:?}"
+        );
+        assert!(
+            rep.sim.completion_ns < healthy_ns,
+            "residual attempt {} must be shorter than a full run {healthy_ns}",
+            rep.sim.completion_ns
+        );
+        assert!(!rec.journal.is_empty());
+        assert_eq!(rec.journal[0].action, crate::RecoveryAction::DeltaRecompile);
+        assert!(rec.journal[0].cause.contains("dead"), "{rec:?}");
+        assert!(rec.journal[0].at_ns > 0.0);
+    }
+
+    #[test]
+    fn transient_kill_with_restore_resumes_without_masking() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        // Down at 300µs, restored 200µs later: the timeline declares the
+        // outage non-permanent, so the abort is transient and recovery
+        // resumes on the *same* (unmasked) plan.
+        let mut comm = Communicator::new(topo).with_validation().with_faults(
+            FaultTimeline::new()
+                .kill(chan, 300_000.0)
+                .restore(chan, 500_000.0),
+        );
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(rep.sim.data_valid, Some(true));
+        let rec = rep.recovery.expect("watchdog engaged");
+        assert!(rec.retries >= 1);
+        assert_eq!(rec.recompiles, 0, "restored outage must not recompile");
+        assert!(
+            rec.resumes >= 1,
+            "mid-run outage must resume from the frontier: {rec:?}"
+        );
+        assert!(comm.health().is_empty(), "no masking for restored faults");
+        assert!(rec
+            .journal
+            .iter()
+            .any(|e| e.action == crate::RecoveryAction::Resume));
+    }
+
+    #[test]
+    fn restored_resource_heals_back_to_healthy_plan() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let healthy_fp = {
+            // A generous deadline engages the watchdog on a healthy twin,
+            // exposing the healthy plan's fingerprint.
+            let mut h = Communicator::new(Topology::a100(2, 4)).with_fault_policy(FaultPolicy {
+                deadline_ns: Some(1e12),
+                ..FaultPolicy::default()
+            });
+            h.all_reduce(64 * MB)
+                .unwrap()
+                .recovery
+                .unwrap()
+                .plan_fingerprint
+        };
+        let mut comm = Communicator::new(topo)
+            .with_validation()
+            .with_faults(FaultTimeline::new().kill(chan, 100_000.0));
+        let first = comm.all_reduce(64 * MB).unwrap();
+        assert!(comm.health().is_dead(chan), "kill masks the channel");
+        let degraded_fp = first.recovery.unwrap().plan_fingerprint;
+        assert_ne!(degraded_fp, healthy_fp);
+        // The link comes back: the schedule no longer declares it dead.
+        comm.set_faults(FaultTimeline::new());
+        let healed = comm.all_reduce(64 * MB).unwrap();
+        assert!(comm.health().is_empty(), "heal must clear the mask");
+        let rec = healed.recovery.expect("heal engages the watchdog");
+        assert_eq!(rec.heals, 1);
+        assert_eq!(rec.recompiles, 0);
+        assert_eq!(rec.retries, 0);
+        assert_eq!(
+            rec.plan_fingerprint, healthy_fp,
+            "heal must fail back to the cached healthy plan"
+        );
+        assert_eq!(rec.journal.len(), 1);
+        assert_eq!(rec.journal[0].action, crate::RecoveryAction::Heal);
+        assert!(rec.journal[0].cause.contains("restored"));
+        // Fully healthy again: the next call reports no recovery at all.
+        let clean = comm.all_reduce(64 * MB).unwrap();
+        assert_eq!(clean.recovery, None);
+    }
+
+    #[test]
+    fn journal_orders_attempts_and_observability_counts_resumes() {
+        let topo = Topology::a100(2, 4);
+        let chan = topo.pair_chan(rescc_topology::Rank::new(0), rescc_topology::Rank::new(1));
+        let mut comm = Communicator::new(topo)
+            .with_observability()
+            .with_validation()
+            .with_faults(
+                FaultTimeline::new()
+                    .kill(chan, 300_000.0)
+                    .restore(chan, 500_000.0),
+            );
+        let rep = comm.all_reduce(64 * MB).unwrap();
+        let rec = rep.recovery.expect("watchdog engaged");
+        assert!(!rec.journal.is_empty());
+        for (i, ev) in rec.journal.iter().enumerate() {
+            assert_eq!(ev.attempt, i as u32 + 1, "attempts must be ordered");
+            assert!(ev.at_ns >= 0.0);
+        }
+        let obs = rep.obs.expect("observability enabled");
+        assert_eq!(obs.resumes, rec.resumes as u64);
+        assert!(obs
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("resume#")
+                && s.category == rescc_obs::SpanCategory::Recovery));
     }
 
     #[test]

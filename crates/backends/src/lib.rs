@@ -32,6 +32,54 @@ use rescc_topology::Topology;
 /// The paper's default chunk (primitive transfer unit) size: 1 MB.
 pub const DEFAULT_CHUNK_BYTES: u64 = 1 << 20;
 
+/// What the watchdog did in response to one recovery trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Transient fault: the attempt was restarted from scratch.
+    Retry,
+    /// Permanent fault: the dead resource was masked and the cached plan
+    /// rerouted + spliced incrementally (`Compiler::recompile_delta`).
+    DeltaRecompile,
+    /// Permanent fault: the splice was denied and the degraded plan was
+    /// compiled from scratch at the next dispatch.
+    FullRecompile,
+    /// The attempt's fault frontier was folded in; the next attempt
+    /// resumed from it (residual plan) instead of restarting.
+    Resume,
+    /// A masked resource was restored: the watchdog un-masked it and
+    /// failed back to the healthier plan at the collective boundary.
+    Heal,
+}
+
+impl RecoveryAction {
+    /// Stable lowercase name (used in journals and trace exports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryAction::Retry => "retry",
+            RecoveryAction::DeltaRecompile => "delta-recompile",
+            RecoveryAction::FullRecompile => "full-recompile",
+            RecoveryAction::Resume => "resume",
+            RecoveryAction::Heal => "heal",
+        }
+    }
+}
+
+/// One entry in the watchdog's per-attempt recovery journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// Recovery trigger number within the call (1-based; 0 for healing,
+    /// which happens before the first attempt).
+    pub attempt: u32,
+    /// Short human-readable cause (e.g. `"transient r12 down"`,
+    /// `"deadline"`, `"r7 dead"`, `"r7 restored"`).
+    pub cause: String,
+    /// Sim time of the trigger, ns since the call started (failed-attempt
+    /// time already elapsed included).
+    pub at_ns: f64,
+    /// What the watchdog did about it.
+    pub action: RecoveryAction,
+}
+
 /// What the [`Communicator`]'s watchdog/recovery layer did to complete a
 /// collective on a faulty fabric.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -44,6 +92,12 @@ pub struct RecoveryStats {
     /// by rerouting and splicing the cached plan
     /// (`Compiler::recompile_delta`) instead of compiling from scratch.
     pub delta_recompiles: u32,
+    /// Attempts that resumed from an accumulated fault frontier (residual
+    /// plan) instead of restarting from scratch.
+    pub resumes: u32,
+    /// Masked resources un-masked because their fault schedule no longer
+    /// declares them permanently dead (fail-back to the healthier plan).
+    pub heals: u32,
     /// Sim time burned by failed attempts and backoff before the
     /// successful attempt started, ns.
     pub recovery_ns: f64,
@@ -56,6 +110,8 @@ pub struct RecoveryStats {
     /// are re-analyzed after every post-fault recompile; a recompiled plan
     /// carrying `Error`-severity findings is refused before resume.
     pub lint_diagnostics: u32,
+    /// Per-trigger journal of what the watchdog saw and did, in order.
+    pub journal: Vec<RecoveryEvent>,
 }
 
 /// Result of running one collective call through a backend.

@@ -1,0 +1,8 @@
+//! Chaos-campaign harness (not a paper figure): seeded randomized
+//! multi-fault timelines across every collective × Table-3 topology, plus
+//! resume-vs-restart economics for a late permanent kill. Writes
+//! `BENCH_chaos.json`.
+
+fn main() {
+    rescc_bench::experiments::chaos::run();
+}

@@ -21,6 +21,7 @@ fn main() {
     ex::ablation::run();
     ex::analytic::run();
     ex::recovery::run();
+    ex::chaos::run();
     ex::simbench::run();
     ex::observability::run();
     println!(

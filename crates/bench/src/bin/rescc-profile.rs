@@ -286,6 +286,7 @@ fn main() {
                 trace.name_process(pid_watchdog, "watchdog demo (sim time)");
                 trace.name_thread(pid_watchdog, 0, "recovery");
                 trace.name_thread(pid_watchdog, 1, "compiler");
+                trace.name_thread(pid_watchdog, 2, "journal");
                 let demo = rep.obs.as_ref().expect("observability enabled");
                 for s in &demo.spans {
                     let tid = match s.category {
@@ -301,6 +302,24 @@ fn main() {
                         s.dur_ns,
                         vec![("domain".into(), s.domain.as_str().into())],
                     );
+                }
+                // Per-attempt recovery journal: one instant per watchdog
+                // decision, named by the action taken, stamped at the sim
+                // time the triggering fault was observed.
+                if let Some(rec) = rep.recovery.as_ref() {
+                    for ev in &rec.journal {
+                        trace.add_instant(
+                            pid_watchdog,
+                            2,
+                            ev.action.as_str(),
+                            "recovery",
+                            ev.at_ns.max(0.0),
+                            vec![
+                                ("attempt".into(), (ev.attempt as f64).into()),
+                                ("cause".into(), ArgValue::Str(ev.cause.clone())),
+                            ],
+                        );
+                    }
                 }
             }
         }

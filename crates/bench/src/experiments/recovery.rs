@@ -14,13 +14,21 @@
 //!
 //! Each degraded run must still validate (`data_valid == Some(true)`),
 //! recompile at least once against a topology whose plan fingerprint
-//! differs from the healthy plan's, and finish in under 3x the healthy
-//! completion time. Machine-readable results go to `BENCH_recovery.json`.
+//! differs from the healthy plan's, resume from the fault frontier
+//! instead of restarting (strictly cheaper than the restart-from-zero
+//! counterfactual on the same degraded plan), and finish in under 3x the
+//! healthy completion time. A final heal phase restores the killed
+//! channel and checks the communicator fails back to the healthy plan at
+//! the next collective boundary. Machine-readable results go to
+//! `BENCH_recovery.json`.
 
 use crate::{print_table, GB};
 use rescc_backends::Communicator;
-use rescc_sim::FaultTimeline;
+use rescc_core::Compiler;
+use rescc_sim::{FaultTimeline, SimConfig};
 use rescc_topology::{Rank, Topology};
+
+const MB: u64 = 1 << 20;
 
 /// One fault scenario: a label plus the timeline to inject.
 struct Scenario {
@@ -73,6 +81,8 @@ pub fn run() {
         "-".into(),
         "0".into(),
         "0".into(),
+        "0".into(),
+        "-".into(),
         "1.00x".into(),
         format!("{:?}", healthy.sim.data_valid),
     ]];
@@ -102,6 +112,11 @@ pub fn run() {
             "scenario '{}' must recompile against the masked topology",
             sc.name
         );
+        assert!(
+            rec.resumes >= 1,
+            "scenario '{}' must resume from the fault frontier",
+            sc.name
+        );
         assert_ne!(
             rec.plan_fingerprint, healthy_fp,
             "scenario '{}': degraded plan must have a distinct fingerprint",
@@ -112,28 +127,69 @@ pub fn run() {
             "scenario '{}': {slowdown:.2}x exceeds the 3x recovery budget",
             sc.name
         );
+        // Restart-from-zero counterfactual: the degraded plan the
+        // watchdog recompiled to, run in full. The resumed attempt only
+        // ran the residual schedule, so it must be strictly cheaper.
+        let resume_ns = rep.sim.completion_ns;
+        let degraded = topo.clone().with_health(comm.health().clone());
+        let restart_ns = Compiler::new()
+            .compile_spec(&rescc_algos::hm_allreduce(2, 4), &degraded)
+            .unwrap_or_else(|e| panic!("scenario '{}': degraded compile: {e}", sc.name))
+            .run_with(buffer, MB, &SimConfig::default().without_validation())
+            .unwrap_or_else(|e| panic!("scenario '{}': restart run: {e}", sc.name))
+            .completion_ns;
+        assert!(
+            resume_ns < restart_ns,
+            "scenario '{}': resuming ({resume_ns:.0}ns) must beat restarting \
+             ({restart_ns:.0}ns)",
+            sc.name
+        );
         rows.push(vec![
             sc.name.to_string(),
             format!("{:.2}ms", total / 1e6),
             format!("{:.2}ms", rec.recovery_ns / 1e6),
             rec.retries.to_string(),
             rec.recompiles.to_string(),
+            rec.resumes.to_string(),
+            format!("{:.2}x", resume_ns / restart_ns),
             format!("{slowdown:.2}x"),
             format!("{:?}", rep.sim.data_valid),
         ]);
+        let journal: Vec<String> = rec
+            .journal
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"attempt\": {}, \"cause\": \"{}\", \"at_ns\": {:.1}, \
+                     \"action\": \"{}\"}}",
+                    e.attempt,
+                    e.cause,
+                    e.at_ns,
+                    e.action.as_str()
+                )
+            })
+            .collect();
         json_rows.push(format!(
             "    {{\"scenario\": \"{}\", \"total_ns\": {:.1}, \
              \"recovery_ns\": {:.1}, \"retries\": {}, \"recompiles\": {}, \
+             \"resumes\": {}, \"resume_ns\": {:.1}, \"restart_ns\": {:.1}, \
+             \"resume_vs_restart\": {:.4}, \
              \"slowdown\": {:.4}, \"dead_resources\": {:?}, \
-             \"plan_fingerprint\": {}, \"data_valid\": true}}",
+             \"plan_fingerprint\": {}, \"data_valid\": true, \
+             \"journal\": [{}]}}",
             sc.name,
             total,
             rec.recovery_ns,
             rec.retries,
             rec.recompiles,
+            rec.resumes,
+            resume_ns,
+            restart_ns,
+            resume_ns / restart_ns,
             slowdown,
             rec.dead_resources,
             rec.plan_fingerprint,
+            journal.join(", "),
         ));
     }
 
@@ -145,6 +201,8 @@ pub fn run() {
             "recovery",
             "retries",
             "recompiles",
+            "resumes",
+            "res/rst",
             "slowdown",
             "data_valid",
         ],
@@ -152,13 +210,51 @@ pub fn run() {
     );
     println!(
         "the watchdog masks the dead resource, recompiles against the degraded \
-         topology (distinct plan fingerprint), and the collective still validates."
+         topology (distinct plan fingerprint), resumes from the fault frontier \
+         (cheaper than restarting), and the collective still validates."
     );
+
+    // Heal: restore the killed NVLink channel (an empty schedule no
+    // longer declares it dead) — the next collective must un-mask it,
+    // fail back to the healthy-fingerprint plan without recompiling, and
+    // pay no residual sim-time penalty.
+    let heal = {
+        let mut comm = Communicator::new(topo.clone())
+            .with_validation()
+            .with_faults(FaultTimeline::new().kill(
+                topo.pair_chan(Rank::new(0), Rank::new(1)),
+                0.35 * healthy_ns,
+            ));
+        comm.all_reduce(buffer).expect("heal setup run");
+        comm.set_faults(FaultTimeline::new());
+        let healed = comm.all_reduce(buffer).expect("healed run");
+        let rec = healed.recovery.clone().expect("watchdog stays engaged");
+        assert_eq!(rec.heals, 1, "restoring the channel must heal the mask");
+        assert_eq!(rec.retries, 0, "healed run must not retry");
+        assert_eq!(rec.recompiles, 0, "healed plan comes from the cache");
+        assert_eq!(
+            rec.plan_fingerprint, healthy_fp,
+            "healed run must fail back to the healthy plan"
+        );
+        assert_eq!(healed.sim.data_valid, Some(true));
+        let latency_ns = healed.sim.completion_ns - healthy_ns;
+        println!(
+            "heal: channel restored -> mask dropped, healthy plan re-dispatched \
+             from cache, heal latency {:.3}ms",
+            latency_ns / 1e6
+        );
+        format!(
+            "{{\"heals\": {}, \"heal_latency_ns\": {:.1}, \
+             \"fingerprint_restored\": true}}",
+            rec.heals, latency_ns
+        )
+    };
 
     let json = format!(
         "{{\n  \"buffer_bytes\": {buffer},\n  \"topology\": \"a100(2,4)\",\n  \
          \"healthy_ns\": {healthy_ns:.1},\n  \
-         \"healthy_fingerprint\": {healthy_fp},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+         \"healthy_fingerprint\": {healthy_fp},\n  \"scenarios\": [\n{}\n  ],\n  \
+         \"heal\": {heal}\n}}\n",
         json_rows.join(",\n"),
     );
     match std::fs::write("BENCH_recovery.json", &json) {

@@ -34,8 +34,10 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod residual;
 
 pub use cache::{plan_fingerprint, CacheEvent, CacheStats, PlanCache, DEFAULT_JOURNAL_CAPACITY};
+pub use residual::ResidualPlan;
 
 use rescc_alloc::TbAllocation;
 use rescc_analyze::{analyze, analyze_rerouted, AnalysisConfig, AnalysisInput, AnalysisReport};

@@ -1,0 +1,219 @@
+//! Chaos campaign: seeded randomized multi-fault timelines (permanent
+//! kills, kill-then-restore outages, flaps, brownouts, stragglers —
+//! including faults that land *during* recovery attempts) driven through
+//! the full watchdog stack on every workload × Table-3 topology. The
+//! properties: the collective either delivers machine-validated data
+//! within the watchdog's bounded retry/recompile budgets, or gives up
+//! with a typed error; recovery accounting (retries, recompiles, resumes,
+//! heals, journal) stays internally consistent; and identical seeds
+//! replay byte-identically.
+
+use rescc_backends::{Communicator, RecoveryAction, RecoveryStats, RunReport};
+use rescc_lang::OpType;
+use rescc_sim::{FaultTimeline, SimError, SimResult};
+use rescc_topology::Topology;
+
+const MB: u64 = 1 << 20;
+
+/// The workload axis: one collective per operator the communicator serves.
+const OPS: [OpType; 3] = [OpType::AllReduce, OpType::AllGather, OpType::ReduceScatter];
+
+fn issue(comm: &mut Communicator, op: OpType, buffer: u64) -> SimResult<RunReport> {
+    match op {
+        OpType::AllReduce => comm.all_reduce(buffer),
+        OpType::AllGather => comm.all_gather(buffer),
+        OpType::ReduceScatter => comm.reduce_scatter(buffer),
+    }
+}
+
+/// Per-attempt journal and counters must describe the same history:
+/// every retry/recompile/heal journals exactly one event whose action
+/// tallies match the counters, attempts are issued in order, and resumed
+/// dispatches never outnumber the failures that could have produced a
+/// frontier.
+fn check_accounting(ctx: &str, rec: &RecoveryStats) {
+    let count = |a: RecoveryAction| rec.journal.iter().filter(|e| e.action == a).count() as u32;
+    assert_eq!(
+        rec.journal.len() as u32,
+        rec.retries + rec.recompiles + rec.heals,
+        "{ctx}: journal entries must match the counters"
+    );
+    assert_eq!(
+        count(RecoveryAction::Retry) + count(RecoveryAction::Resume),
+        rec.retries,
+        "{ctx}: every transient failure journals a retry or a resume"
+    );
+    assert_eq!(
+        count(RecoveryAction::DeltaRecompile) + count(RecoveryAction::FullRecompile),
+        rec.recompiles,
+        "{ctx}: every permanent failure journals a recompile"
+    );
+    assert_eq!(
+        count(RecoveryAction::Heal),
+        rec.heals,
+        "{ctx}: every heal journals"
+    );
+    assert_eq!(
+        count(RecoveryAction::DeltaRecompile),
+        rec.delta_recompiles,
+        "{ctx}: delta-recompile tally"
+    );
+    assert!(
+        rec.resumes <= rec.retries + rec.recompiles,
+        "{ctx}: {} resumed dispatches but only {} failed attempts",
+        rec.resumes,
+        rec.retries + rec.recompiles
+    );
+    let attempts: Vec<u32> = rec.journal.iter().map(|e| e.attempt).collect();
+    assert!(
+        attempts.windows(2).all(|w| w[0] <= w[1]),
+        "{ctx}: journal attempts out of order: {attempts:?}"
+    );
+    for e in &rec.journal {
+        assert!(
+            e.at_ns >= 0.0 && e.at_ns.is_finite(),
+            "{ctx}: journal timestamp {} not a sim instant",
+            e.at_ns
+        );
+        assert!(!e.cause.is_empty(), "{ctx}: journal entry without a cause");
+    }
+}
+
+/// A give-up must be a *typed*, explained error — never a panic, never a
+/// silent wrong answer. The legitimate shapes: a permanent `ResourceDown`
+/// the routing could not mask around (budget exhausted or already
+/// masked), or the sanitize gate denying the degraded/residual plan.
+fn check_give_up(ctx: &str, err: &SimError) {
+    match err {
+        SimError::ResourceDown { permanent, .. } => {
+            assert!(*permanent, "{ctx}: gave up on a transient fault: {err}")
+        }
+        other => {
+            let msg = other.to_string();
+            assert!(
+                msg.contains("RA005") || msg.contains("recovery") || msg.contains("sanitize"),
+                "{ctx}: unexplained give-up: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_timelines_validate_or_give_up_typed_across_grid() {
+    let buffer = 16 * MB;
+    for i in 1..=4 {
+        let topo = Topology::table3_topo(i).unwrap();
+        for op in OPS {
+            // Healthy baseline scales the fault horizon so chaos lands
+            // mid-collective rather than after completion.
+            let healthy = issue(&mut Communicator::new(topo.clone()), op, buffer)
+                .unwrap_or_else(|e| panic!("healthy {op:?} on {}: {e}", topo.name()));
+            let horizon = healthy.sim.completion_ns;
+            let mut survived = 0u32;
+            for seed in 0..4u64 {
+                let ctx = format!("{op:?} on {} seed {seed}", topo.name());
+                let tl =
+                    FaultTimeline::seeded_chaos(seed, topo.n_resources(), topo.n_ranks(), horizon);
+                let mut comm = Communicator::new(topo.clone())
+                    .with_validation()
+                    .with_faults(tl);
+                match issue(&mut comm, op, buffer) {
+                    Ok(rep) => {
+                        survived += 1;
+                        assert_eq!(
+                            rep.sim.data_valid,
+                            Some(true),
+                            "{ctx}: recovered run must validate"
+                        );
+                        let rec = rep.recovery.expect("chaos engages the watchdog");
+                        assert!(rec.retries <= 8, "{ctx}: retry budget exceeded");
+                        assert!(rec.recompiles <= 4, "{ctx}: recompile budget exceeded");
+                        check_accounting(&ctx, &rec);
+                    }
+                    Err(err) => check_give_up(&ctx, &err),
+                }
+            }
+            assert!(
+                survived > 0,
+                "{op:?} on {}: every chaos seed gave up — recovery is not working",
+                topo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_replays_byte_identically() {
+    // The whole recovery path — frontier capture, residual compile,
+    // resume, mask + recompile — is deterministic: identical seeds must
+    // produce identical reports (or identical give-ups).
+    let topo = Topology::a100(2, 4);
+    let buffer = 32 * MB;
+    for seed in 0..6u64 {
+        let run = || {
+            let tl =
+                FaultTimeline::seeded_chaos(seed, topo.n_resources(), topo.n_ranks(), 1_500_000.0);
+            let mut comm = Communicator::new(topo.clone())
+                .with_validation()
+                .with_faults(tl);
+            comm.all_reduce(buffer)
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed}: reports diverge"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "seed {seed}: errors diverge")
+            }
+            (a, b) => panic!(
+                "seed {seed}: one replay succeeded, the other failed: {:?} vs {:?}",
+                a.map(|r| r.sim.completion_ns),
+                b.map(|r| r.sim.completion_ns)
+            ),
+        }
+    }
+}
+
+#[test]
+fn chaos_during_recovery_and_rearming_heals() {
+    // Sequential collectives on one communicator, re-armed with a fresh
+    // chaos schedule between calls: masked resources whose new schedule
+    // no longer declares them dead must heal, and every surviving call
+    // must still validate.
+    let topo = Topology::a100(2, 4);
+    let buffer = 16 * MB;
+    let mut comm = Communicator::new(topo.clone()).with_validation();
+    let mut healed = 0u32;
+    for seed in 10..16u64 {
+        let tl = FaultTimeline::seeded_chaos(seed, topo.n_resources(), topo.n_ranks(), 1_000_000.0);
+        comm.set_faults(tl);
+        match comm.all_reduce(buffer) {
+            Ok(rep) => {
+                assert_eq!(rep.sim.data_valid, Some(true), "seed {seed}");
+                if let Some(rec) = rep.recovery {
+                    healed += rec.heals;
+                    check_accounting(&format!("re-armed seed {seed}"), &rec);
+                }
+            }
+            Err(err) => check_give_up(&format!("re-armed seed {seed}"), &err),
+        }
+    }
+    // Disarm entirely: everything previously masked but no longer dead
+    // heals at this boundary, and the collective runs clean.
+    comm.set_faults(FaultTimeline::new());
+    let rep = comm.all_reduce(buffer).expect("disarmed call runs clean");
+    assert_eq!(rep.sim.data_valid, Some(true));
+    if let Some(rec) = &rep.recovery {
+        healed += rec.heals;
+        assert_eq!(rec.retries, 0, "disarmed call must not retry");
+    }
+    assert!(
+        comm.health().is_empty(),
+        "disarming the schedule must heal every mask, {} still dead",
+        comm.health().len()
+    );
+    // At least one seed in this range kills something permanently, so the
+    // campaign must have exercised the healing path.
+    assert!(
+        healed > 0,
+        "no heal ever fired across the re-armed campaign"
+    );
+}

@@ -245,6 +245,83 @@ impl DepDag {
         Ok((patched, dirty))
     }
 
+    /// The residual DAG: keep exactly the tasks flagged in `keep`,
+    /// renumbering them contiguously, and drop every edge touching a
+    /// pruned task — a kept task whose predecessors all completed becomes
+    /// a new root, which is precisely the re-rooting partial-progress
+    /// recovery needs. Per-chunk lists and the dense resource index are
+    /// rebuilt against `topo`; chunk ids are preserved.
+    ///
+    /// Returns the residual DAG plus the map from residual task id to the
+    /// original [`TaskId`] (`orig_ids[residual.index()]`), so callers can
+    /// translate frontiers and schedules between the two id spaces.
+    ///
+    /// Fails when the mask's length mismatches, when nothing is kept, or
+    /// (defensively) when the residual adjacency has a cycle.
+    pub fn residual(&self, keep: &[bool], topo: &Topology) -> Result<(Self, Vec<TaskId>)> {
+        if keep.len() != self.tasks.len() {
+            return Err(IrError::new(format!(
+                "keep mask covers {} tasks, DAG has {}",
+                keep.len(),
+                self.tasks.len()
+            )));
+        }
+        let mut new_id = vec![u32::MAX; self.tasks.len()];
+        let mut orig_ids: Vec<TaskId> = Vec::new();
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                new_id[i] = orig_ids.len() as u32;
+                orig_ids.push(TaskId::new(i as u32));
+            }
+        }
+        if orig_ids.is_empty() {
+            return Err(IrError::new(
+                "residual DAG would be empty — nothing left to execute",
+            ));
+        }
+        let mut tasks: Vec<Task> = Vec::with_capacity(orig_ids.len());
+        for &oid in &orig_ids {
+            let mut t = self.tasks[oid.index()];
+            t.id = TaskId::new(tasks.len() as u32);
+            tasks.push(t);
+        }
+        // Surviving edges, remapped. New ids are monotone in original ids,
+        // so filtered rows (including the (step, id)-sorted chunk chains)
+        // keep their order.
+        let remap = |ids: &[TaskId]| -> Vec<TaskId> {
+            ids.iter()
+                .filter(|id| keep[id.index()])
+                .map(|id| TaskId::new(new_id[id.index()]))
+                .collect()
+        };
+        let preds: Vec<Vec<TaskId>> = orig_ids
+            .iter()
+            .map(|oid| remap(self.preds.row(oid.index())))
+            .collect();
+        let succs: Vec<Vec<TaskId>> = orig_ids
+            .iter()
+            .map(|oid| remap(self.succs.row(oid.index())))
+            .collect();
+        let by_chunk: Vec<Vec<TaskId>> = (0..self.n_chunks as usize)
+            .map(|c| remap(self.by_chunk.row(c)))
+            .collect();
+        let (resource_ids, conflict_dense, by_resource, conflict_limit) =
+            index_resources(&tasks, topo)?;
+        let dag = Self {
+            tasks,
+            preds: Csr::from_rows(&preds),
+            succs: Csr::from_rows(&succs),
+            by_chunk: Csr::from_rows(&by_chunk),
+            resource_ids,
+            conflict_dense,
+            by_resource,
+            conflict_limit,
+            n_chunks: self.n_chunks,
+        };
+        dag.topo_order()?;
+        Ok((dag, orig_ids))
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()
@@ -640,6 +717,49 @@ mod tests {
         // The patched DAG matches a from-scratch build on the degraded topo.
         let fresh = DepDag::build(&ring_ag(8), &degraded).unwrap();
         assert_eq!(patched, fresh);
+    }
+
+    #[test]
+    fn residual_prunes_renumbers_and_reroots() {
+        let topo = Topology::a100(1, 8);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        // Prune the first task of every chunk chain (as if it completed).
+        let mut keep = vec![true; dag.len()];
+        for c in 0..8u32 {
+            keep[dag.chunk_tasks(ChunkId::new(c))[0].index()] = false;
+        }
+        let (res, orig) = dag.residual(&keep, &topo).unwrap();
+        assert_eq!(res.len(), dag.len() - 8);
+        assert_eq!(orig.len(), res.len());
+        for (ri, t) in res.tasks().iter().enumerate() {
+            assert_eq!(t.id.index(), ri, "residual ids must be contiguous");
+            let o = dag.task(orig[ri]);
+            assert_eq!(
+                (t.src, t.dst, t.step, t.chunk, t.comm),
+                (o.src, o.dst, o.step, o.chunk, o.comm)
+            );
+        }
+        // Chains re-rooted: the former second task is now a root.
+        for c in 0..8u32 {
+            let chain = res.chunk_tasks(ChunkId::new(c));
+            assert_eq!(chain.len(), 6);
+            assert!(res.preds(chain[0]).is_empty());
+            for w in chain.windows(2) {
+                assert_eq!(res.preds(w[1]), &[w[0]]);
+            }
+        }
+        res.topo_order().unwrap();
+    }
+
+    #[test]
+    fn residual_keep_all_is_identity_and_keep_none_rejected() {
+        let topo = Topology::a100(2, 4);
+        let dag = DepDag::build(&ring_ag(8), &topo).unwrap();
+        let (all, ids) = dag.residual(&vec![true; dag.len()], &topo).unwrap();
+        assert_eq!(all, dag);
+        assert_eq!(ids.len(), dag.len());
+        assert!(dag.residual(&vec![false; dag.len()], &topo).is_err());
+        assert!(dag.residual(&[true], &topo).is_err(), "mask length");
     }
 
     #[test]

@@ -162,6 +162,14 @@ pub struct ObsStats {
     pub delta_recompiles: u64,
     /// Total simulated time spent in watchdog backoff waits, ns.
     pub backoff_ns: f64,
+    /// Watchdog attempts resumed from a fault frontier (only the residual
+    /// work re-ran) instead of restarted from scratch.
+    #[serde(default)]
+    pub resumes: u64,
+    /// Healing events: a previously-masked resource was restored and the
+    /// watchdog failed back to the healthier plan at a collective boundary.
+    #[serde(default)]
+    pub heals: u64,
     /// Every span recorded during the run, in emission order.
     pub spans: Vec<Span>,
 }
@@ -266,6 +274,35 @@ impl ObsStats {
         ));
     }
 
+    /// Record a watchdog frontier-resume attempt as a sim-time recovery
+    /// span: instead of restarting from scratch, the attempt replayed the
+    /// fault frontier and re-ran only the residual work.
+    pub fn add_resume(&mut self, attempt: u64, start_ns: f64, dur_ns: f64) {
+        self.resumes += 1;
+        self.spans.push(Span::new(
+            "watchdog",
+            format!("resume#{attempt}"),
+            SpanCategory::Recovery,
+            TimeDomain::Sim,
+            start_ns,
+            dur_ns,
+        ));
+    }
+
+    /// Record a healing event: a masked resource was restored and the
+    /// watchdog failed back to the healthier plan at a collective boundary.
+    pub fn add_heal(&mut self, start_ns: f64, dur_ns: f64) {
+        self.heals += 1;
+        self.spans.push(Span::new(
+            "watchdog",
+            "heal",
+            SpanCategory::Recovery,
+            TimeDomain::Sim,
+            start_ns,
+            dur_ns,
+        ));
+    }
+
     /// Merge another run's stats into this one (used when a harness
     /// aggregates several collective calls).
     pub fn merge(&mut self, other: &ObsStats) {
@@ -280,6 +317,8 @@ impl ObsStats {
         self.recompiles += other.recompiles;
         self.delta_recompiles += other.delta_recompiles;
         self.backoff_ns += other.backoff_ns;
+        self.resumes += other.resumes;
+        self.heals += other.heals;
         self.spans.extend(other.spans.iter().cloned());
     }
 }
@@ -346,10 +385,16 @@ mod tests {
         stats.add_retry(1, 0.0, 50.0);
         stats.add_backoff(50.0, 25.0);
         stats.add_recompile(75.0, 10.0);
+        stats.add_resume(1, 85.0, 0.0);
+        stats.add_heal(95.0, 0.0);
         assert_eq!(stats.retries, 1);
         assert_eq!(stats.recompiles, 1);
+        assert_eq!(stats.resumes, 1);
+        assert_eq!(stats.heals, 1);
         assert!((stats.backoff_ns - 25.0).abs() < 1e-12);
-        assert_eq!(stats.spans.len(), 3);
+        assert_eq!(stats.spans.len(), 5);
+        assert!(stats.spans.iter().any(|s| s.name == "resume#1"));
+        assert!(stats.spans.iter().any(|s| s.name == "heal"));
         assert!(stats
             .spans
             .iter()
@@ -362,11 +407,15 @@ mod tests {
         a.add_compile(&timings(), "compiler", 0.0);
         let mut b = ObsStats::default();
         b.add_retry(1, 0.0, 5.0);
+        b.add_resume(1, 5.0, 0.0);
+        b.add_heal(6.0, 0.0);
         b.cache_hits = 3;
         a.merge(&b);
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.retries, 1);
-        assert_eq!(a.spans.len(), 5);
+        assert_eq!(a.resumes, 1);
+        assert_eq!(a.heals, 1);
+        assert_eq!(a.spans.len(), 7);
     }
 
     #[test]

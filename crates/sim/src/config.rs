@@ -2,6 +2,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::fault::FaultTimeline;
+use crate::frontier::ResumeState;
 use rescc_topology::ResourceId;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,12 @@ pub struct SimConfig {
     /// Number of buckets for the per-TB / per-link timelines recorded
     /// under [`attribute_bubbles`](Self::attribute_bubbles).
     pub obs_buckets: u32,
+    /// Partial-progress resume: invocations already completed by an
+    /// aborted attempt (plus the buffer replay reconstructing their
+    /// effects). `None` — the default — runs from scratch and is
+    /// byte-identical to configurations predating this field.
+    #[serde(default)]
+    pub resume: Option<ResumeState>,
 }
 
 impl Default for SimConfig {
@@ -63,6 +70,7 @@ impl Default for SimConfig {
             record_trace: false,
             attribute_bubbles: false,
             obs_buckets: 64,
+            resume: None,
         }
     }
 }
@@ -129,6 +137,14 @@ impl SimConfig {
     /// [`with_observability`](Self::with_observability).
     pub fn with_obs_buckets(mut self, buckets: u32) -> Self {
         self.obs_buckets = buckets;
+        self
+    }
+
+    /// Resume from an aborted attempt's partial progress instead of
+    /// starting from scratch. The state's dimensions are checked against
+    /// the plan when the run starts.
+    pub fn with_resume(mut self, resume: ResumeState) -> Self {
+        self.resume = Some(resume);
         self
     }
 

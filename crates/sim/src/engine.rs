@@ -24,6 +24,7 @@
 use crate::config::SimConfig;
 use crate::error::{SimError, SimResult};
 use crate::fault::{Fault, FaultEvent};
+use crate::frontier::FaultFrontier;
 use crate::metrics::{ResourceStat, SimReport, TbStat};
 use crate::obs::{
     add_interval, BubbleCause, BubbleInterval, LinkTimeline, SimObservability, TbTimeline,
@@ -407,7 +408,7 @@ impl<'a> Engine<'a> {
         }
 
         // Barrier groups.
-        let (barrier_group_of, barrier_members, barrier_remaining) =
+        let (barrier_group_of, barrier_members, mut barrier_remaining) =
             if let Some(groups) = &program.barrier_groups {
                 if groups.len() != n_tasks {
                     return Err(SimError::new(format!(
@@ -431,7 +432,7 @@ impl<'a> Engine<'a> {
 
         // Buffers.
         let n_chunks = dag.n_chunks();
-        let buffers = if config.validate_data {
+        let mut buffers: Vec<Vec<ChunkValue>> = if config.validate_data {
             (0..n_mb)
                 .map(|_| {
                     (0..n_ranks)
@@ -442,6 +443,53 @@ impl<'a> Engine<'a> {
         } else {
             Vec::new()
         };
+
+        // Partial-progress resume: replay the aborted attempt's completed
+        // transfers into the value buffers, mark completed invocations
+        // done, and pre-propagate their dependency / barrier effects so
+        // the remaining work starts exactly where the abort left off —
+        // without re-running any (non-idempotent) reduction.
+        let mut inv_done_init = 0u64;
+        if let Some(rs) = &config.resume {
+            rs.validate(n_tasks as u32, n_mb, n_ranks, n_chunks)
+                .map_err(SimError::InvalidConfig)?;
+            if config.validate_data {
+                for op_ in &rs.replay {
+                    let src = (op_.src * n_chunks + op_.chunk) as usize;
+                    let dst = (op_.dst * n_chunks + op_.chunk) as usize;
+                    let v = buffers[op_.mb as usize][src].clone();
+                    let slot = &mut buffers[op_.mb as usize][dst];
+                    if op_.reduce {
+                        slot.reduce_from(&v);
+                    } else {
+                        slot.copy_from(&v);
+                    }
+                }
+            }
+            for t in 0..n_tasks {
+                for mb in 0..n_mb {
+                    if !rs.is_done(t as u32, mb) {
+                        continue;
+                    }
+                    let inv = &mut invs[t * n_mb as usize + mb as usize];
+                    inv.started = true;
+                    inv.done = true;
+                    inv_done_init += 1;
+                    for &s in dag.succs(TaskId::new(t as u32)) {
+                        // The fused forward's dependency on its feeder was
+                        // lifted at initialization, mirroring completion.
+                        if fused_pred[s.index()] == t as u32 {
+                            continue;
+                        }
+                        invs[s.index() * n_mb as usize + mb as usize].deps_remaining -= 1;
+                    }
+                    if !barrier_group_of.is_empty() {
+                        let g = barrier_group_of[t] as usize;
+                        barrier_remaining[g][mb as usize] -= 1;
+                    }
+                }
+            }
+        }
 
         Ok(Self {
             dag,
@@ -460,7 +508,7 @@ impl<'a> Engine<'a> {
             heap: BinaryHeap::new(),
             buffers,
             rng: StdRng::seed_from_u64(config.seed),
-            inv_done: 0,
+            inv_done: inv_done_init,
             inv_total,
             completion: 0.0,
             barrier_group_of,
@@ -742,16 +790,10 @@ impl<'a> Engine<'a> {
         self.fault_log.push(FaultRecord { at_ns, fault });
         match fault {
             Fault::LinkDown(r) => {
-                let rs = &mut self.resources[r.index()];
-                rs.up = false;
-                if let Some(&x) = rs.draining.first() {
+                self.resources[r.index()].up = false;
+                if let Some(&x) = self.resources[r.index()].draining.first() {
                     let task = self.transfers[x as usize].task;
-                    self.fatal.get_or_insert(SimError::ResourceDown {
-                        resource: r.0,
-                        task: task.0,
-                        at_ns: self.now.max(0.0).round() as u64,
-                        permanent: self.config.faults.is_permanent_down(r),
-                    });
+                    self.fail_on_dead(task, r);
                 }
             }
             Fault::LinkUp(r) => self.resources[r.index()].up = true,
@@ -786,65 +828,116 @@ impl<'a> Engine<'a> {
     }
 
     /// Record a typed [`SimError::ResourceDown`] for `task` hitting dead
-    /// resource `r`; the event loop aborts at the next check.
+    /// resource `r`, carrying the fault frontier — the completed
+    /// invocation set a recovery layer can resume from; the event loop
+    /// aborts at the next check.
     fn fail_on_dead(&mut self, task: TaskId, r: ResourceId) {
-        self.fatal.get_or_insert(SimError::ResourceDown {
+        if self.fatal.is_some() {
+            return;
+        }
+        let frontier = self.capture_frontier();
+        self.fatal = Some(SimError::ResourceDown {
             resource: r.0,
             task: task.0,
             at_ns: self.now.max(0.0).round() as u64,
             permanent: self.config.faults.is_permanent_down(r),
+            frontier: Some(Box::new(frontier)),
         });
     }
 
+    /// Snapshot the set of completed invocations at the current instant —
+    /// the same `done` flags data validation tracks, so the frontier is
+    /// deterministic for a deterministic run. `try_start` refuses to issue
+    /// new transfers once `fatal` is set, so the set is stable at capture.
+    fn capture_frontier(&self) -> FaultFrontier {
+        let mut f = FaultFrontier::new(
+            self.dag.len() as u32,
+            self.n_mb,
+            self.now.max(0.0).round() as u64,
+        );
+        for (i, inv) in self.invs.iter().enumerate() {
+            if inv.done {
+                f.mark(
+                    (i / self.n_mb as usize) as u32,
+                    (i % self.n_mb as usize) as u32,
+                );
+            }
+        }
+        f
+    }
+
     /// The TB (re-)arrives at its current issue group: every invocation of
-    /// the group registers its side and may start.
+    /// the group registers its side and may start. Invocations a
+    /// partial-progress resume already completed retire instantly — a
+    /// group whose gating slots are all complete is skipped outright (the
+    /// loop), so a resumed TB fast-forwards to its first remaining work.
     fn tb_arrive(&mut self, tb_id: u32) {
-        let now = self.now;
-        let tb = &mut self.tbs[tb_id as usize];
-        if tb.group_idx >= tb.groups.len() {
-            // Released only once every asynchronous fused forward it issued
-            // has drained (otherwise the last completion sets release).
-            if tb.async_outstanding == 0 {
-                tb.release = now;
+        loop {
+            let now = self.now;
+            let tb = &mut self.tbs[tb_id as usize];
+            if tb.group_idx >= tb.groups.len() {
+                // Released only once every asynchronous fused forward it
+                // issued has drained (otherwise the last completion sets
+                // release).
+                if tb.async_outstanding == 0 {
+                    tb.release = now;
+                }
+                return;
             }
-            return;
-        }
-        let group = tb.groups[tb.group_idx];
-        let (prog_rank, prog_tb) = (tb.prog_rank, tb.prog_tb);
-        // Fused forwards are issued asynchronously: they register their
-        // sender side now but do not gate the group, so the TB moves on to
-        // the next micro-batch as soon as its gating slots retire — the
-        // cut-through pipelining real fused kernels get from sub-chunk FIFO
-        // slices. Segments always start with an unfused slot, so every
-        // group keeps at least one gating member.
-        let mut gating = 0;
-        let mut fused = 0;
-        for si in group.first_slot..group.first_slot + group.len {
-            let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
-            if slot.fused_with_prev {
-                fused += 1;
-            } else {
-                gating += 1;
+            let group = tb.groups[tb.group_idx];
+            let (prog_rank, prog_tb) = (tb.prog_rank, tb.prog_tb);
+            // Fused forwards are issued asynchronously: they register their
+            // sender side now but do not gate the group, so the TB moves on
+            // to the next micro-batch as soon as its gating slots retire —
+            // the cut-through pipelining real fused kernels get from
+            // sub-chunk FIFO slices. Segments always start with an unfused
+            // slot, so every group keeps at least one gating member.
+            let mut gating = 0;
+            let mut live_gating = 0;
+            let mut live_fused = 0;
+            for si in group.first_slot..group.first_slot + group.len {
+                let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
+                let done =
+                    self.invs[slot.task.index() * self.n_mb as usize + group.mb as usize].done;
+                if slot.fused_with_prev {
+                    if !done {
+                        live_fused += 1;
+                    }
+                } else {
+                    gating += 1;
+                    if !done {
+                        live_gating += 1;
+                    }
+                }
             }
-        }
-        debug_assert!(gating > 0, "issue group with no gating slot");
-        let tb = &mut self.tbs[tb_id as usize];
-        tb.group_remaining = gating;
-        tb.async_outstanding += fused;
-        for si in group.first_slot..group.first_slot + group.len {
-            let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
-            let idx = slot.task.index() * self.n_mb as usize + group.mb as usize;
-            let inv = &mut self.invs[idx];
-            if slot.is_send() {
-                debug_assert_eq!(inv.send_tb, NONE, "two senders for one invocation");
-                inv.send_tb = tb_id;
-                inv.send_arrival = now;
-            } else {
-                debug_assert_eq!(inv.recv_tb, NONE, "two receivers for one invocation");
-                inv.recv_tb = tb_id;
-                inv.recv_arrival = now;
+            debug_assert!(gating > 0, "issue group with no gating slot");
+            let tb = &mut self.tbs[tb_id as usize];
+            tb.group_remaining = live_gating;
+            tb.async_outstanding += live_fused;
+            for si in group.first_slot..group.first_slot + group.len {
+                let slot = self.program.ranks[prog_rank].tbs[prog_tb].slots[si as usize];
+                let idx = slot.task.index() * self.n_mb as usize + group.mb as usize;
+                let inv = &mut self.invs[idx];
+                if inv.done {
+                    continue; // already complete before this attempt
+                }
+                if slot.is_send() {
+                    debug_assert_eq!(inv.send_tb, NONE, "two senders for one invocation");
+                    inv.send_tb = tb_id;
+                    inv.send_arrival = now;
+                } else {
+                    debug_assert_eq!(inv.recv_tb, NONE, "two receivers for one invocation");
+                    inv.recv_tb = tb_id;
+                    inv.recv_arrival = now;
+                }
+                self.try_start(slot.task, group.mb);
             }
-            self.try_start(slot.task, group.mb);
+            if live_gating > 0 {
+                return;
+            }
+            // Every gating slot had completed before this attempt: the
+            // group is already retired — advance and look at the next.
+            self.tbs[tb_id as usize].group_idx += 1;
         }
     }
 

@@ -7,6 +7,7 @@
 //! retried. The `Display` prefix (`"simulation error: "`) is stable across
 //! every variant.
 
+use crate::frontier::FaultFrontier;
 use rescc_ir::IrError;
 use std::fmt;
 
@@ -40,6 +41,10 @@ pub enum SimError {
         /// `true` when the timeline never brings the resource back: the
         /// caller must mask it and recompile rather than retry.
         permanent: bool,
+        /// The set of invocations that had completed when the run aborted
+        /// — the partial progress a recovery layer can resume from instead
+        /// of restarting. Boxed to keep the error small on the happy path.
+        frontier: Option<Box<FaultFrontier>>,
     },
     /// The watchdog deadline elapsed before the collective completed.
     DeadlineExceeded {
@@ -76,6 +81,29 @@ impl SimError {
             } | Self::DeadlineExceeded { .. }
         )
     }
+
+    /// The sim time (ns) at which the failure occurred, for every variant
+    /// that carries one: the fault instant for [`SimError::ResourceDown`],
+    /// the expired deadline for [`SimError::DeadlineExceeded`]. The
+    /// watchdog charges this — not zero — to its elapsed-time accounting,
+    /// so backoff and `recovery_ns` stay accurate for every retried error.
+    pub fn at_ns(&self) -> Option<u64> {
+        match self {
+            Self::ResourceDown { at_ns, .. } => Some(*at_ns),
+            Self::DeadlineExceeded { deadline_ns, .. } => Some(*deadline_ns),
+            _ => None,
+        }
+    }
+
+    /// The fault frontier captured at abort, when the variant carries one.
+    pub fn frontier(&self) -> Option<&FaultFrontier> {
+        match self {
+            Self::ResourceDown {
+                frontier: Some(f), ..
+            } => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -93,11 +121,23 @@ impl fmt::Display for SimError {
                 task,
                 at_ns,
                 permanent,
-            } => write!(
-                f,
-                "resource {resource} went down at {at_ns}ns under task {task} ({})",
-                if *permanent { "permanent" } else { "transient" }
-            ),
+                frontier,
+            } => {
+                write!(
+                    f,
+                    "resource {resource} went down at {at_ns}ns under task {task} ({})",
+                    if *permanent { "permanent" } else { "transient" }
+                )?;
+                if let Some(fr) = frontier {
+                    write!(
+                        f,
+                        "; {}/{} invocations complete",
+                        fr.completed(),
+                        fr.n_tasks as u64 * fr.n_mb as u64
+                    )?;
+                }
+                Ok(())
+            }
             Self::DeadlineExceeded {
                 deadline_ns,
                 completed,
@@ -139,6 +179,7 @@ mod tests {
                 task: 7,
                 at_ns: 1000,
                 permanent: true,
+                frontier: Some(Box::new(FaultFrontier::new(4, 2, 1000))),
             },
             SimError::DeadlineExceeded {
                 deadline_ns: 500,
@@ -176,7 +217,8 @@ mod tests {
             resource: 0,
             task: 0,
             at_ns: 0,
-            permanent: false
+            permanent: false,
+            frontier: None
         }
         .is_transient());
         assert!(SimError::DeadlineExceeded {
@@ -189,10 +231,35 @@ mod tests {
             resource: 0,
             task: 0,
             at_ns: 0,
-            permanent: true
+            permanent: true,
+            frontier: None
         }
         .is_transient());
         assert!(!SimError::new("nope").is_transient());
         assert!(!SimError::InvalidConfig("nope".into()).is_transient());
+    }
+
+    #[test]
+    fn at_ns_and_frontier_accessors() {
+        let mut f = FaultFrontier::new(2, 1, 77);
+        f.mark(0, 0);
+        let down = SimError::ResourceDown {
+            resource: 1,
+            task: 0,
+            at_ns: 77,
+            permanent: false,
+            frontier: Some(Box::new(f.clone())),
+        };
+        assert_eq!(down.at_ns(), Some(77));
+        assert_eq!(down.frontier(), Some(&f));
+        let deadline = SimError::DeadlineExceeded {
+            deadline_ns: 500,
+            completed: 1,
+            total: 8,
+        };
+        assert_eq!(deadline.at_ns(), Some(500));
+        assert_eq!(deadline.frontier(), None);
+        assert_eq!(SimError::new("x").at_ns(), None);
+        assert_eq!(SimError::new("x").frontier(), None);
     }
 }

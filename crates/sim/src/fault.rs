@@ -110,6 +110,16 @@ impl FaultTimeline {
         self
     }
 
+    /// Restore `res` to service at `at_ns`. Appended after a
+    /// [`kill`](Self::kill), this turns the death into a survivable
+    /// outage: [`is_permanent_down`](Self::is_permanent_down) becomes
+    /// `false`, and a healing recovery layer may fail back to the healthy
+    /// plan once the restore is in the past.
+    pub fn restore(mut self, res: ResourceId, at_ns: f64) -> Self {
+        self.push(at_ns, Fault::LinkUp(res));
+        self
+    }
+
     /// Flap `res`: starting at `at_ns`, `cycles` windows of `down_ns` down
     /// followed by `up_ns` up.
     pub fn flap(
@@ -265,6 +275,47 @@ impl FaultTimeline {
         }
         tl
     }
+
+    /// A seeded random *chaos* timeline: like
+    /// [`seeded_recovering`](Self::seeded_recovering) but with permanent
+    /// kills and killed-then-restored outages in the mix — the full fault
+    /// vocabulary a recovery stack must survive (retry, frontier resume,
+    /// mask + recompile, heal). Deterministic per seed. Kills target
+    /// resources below `n_resources`; a chaos campaign composes this with
+    /// a masking/recompiling dispatcher and asserts the collective still
+    /// delivers correct data within bounded retries.
+    pub fn seeded_chaos(seed: u64, n_resources: u32, n_ranks: u32, horizon_ns: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tl = Self::new();
+        let n_events = 2 + rng.gen_range(0..3);
+        for _ in 0..n_events {
+            let at = 0.05 * horizon_ns + 0.6 * horizon_ns * rng.gen::<f64>();
+            let res = ResourceId::new(rng.gen_range(0..n_resources as u64) as u32);
+            match rng.gen_range(0..5) {
+                0 => tl = tl.kill(res, at),
+                1 => {
+                    // A kill that heals: down for a window, then restored.
+                    let outage = 0.1 * horizon_ns + 0.2 * horizon_ns * rng.gen::<f64>();
+                    tl = tl.kill(res, at).restore(res, at + outage);
+                }
+                2 => {
+                    let down = 50_000.0 + 100_000.0 * rng.gen::<f64>();
+                    let up = 200_000.0 + 200_000.0 * rng.gen::<f64>();
+                    tl = tl.flap(res, at, down, up, 1 + rng.gen_range(0..2) as u32);
+                }
+                3 => {
+                    let factor = 0.2 + 0.6 * rng.gen::<f64>();
+                    tl = tl.brownout(res, at, factor, 0.3 * horizon_ns);
+                }
+                _ => {
+                    let rank = rng.gen_range(0..n_ranks as u64) as u32;
+                    let mult = 1.5 + 2.0 * rng.gen::<f64>();
+                    tl = tl.straggler(rank, at, mult, 0.2 * horizon_ns);
+                }
+            }
+        }
+        tl
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +379,35 @@ mod tests {
         let lazy = FaultTimeline::new().straggler(9, 1.0, 2.0, 10.0);
         assert!(lazy.validate(10, 4).is_err());
         assert!(lazy.validate(10, 16).is_ok());
+    }
+
+    #[test]
+    fn restore_after_kill_is_not_permanent() {
+        let r = ResourceId::new(4);
+        let killed = FaultTimeline::new().kill(r, 100.0);
+        assert!(killed.is_permanent_down(r));
+        let healed = killed.restore(r, 500.0);
+        assert!(!healed.is_permanent_down(r));
+        assert!(healed.permanent_dead().is_empty());
+        // Shifted past the restore, the timeline replays as already-up.
+        assert!(!healed.advanced(1000.0).is_permanent_down(r));
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_validates() {
+        let a = FaultTimeline::seeded_chaos(3, 40, 8, 1e6);
+        let b = FaultTimeline::seeded_chaos(3, 40, 8, 1e6);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.validate(40, 8).is_ok());
+        assert_ne!(a, FaultTimeline::seeded_chaos(4, 40, 8, 1e6));
+        // Some seed in a small range must produce a permanent kill —
+        // chaos without deaths would never exercise the recompile path.
+        assert!((0..32).any(|s| {
+            !FaultTimeline::seeded_chaos(s, 40, 8, 1e6)
+                .permanent_dead()
+                .is_empty()
+        }));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod config;
 mod engine;
 mod error;
 mod fault;
+mod frontier;
 mod metrics;
 mod obs;
 mod trace;
@@ -54,6 +55,7 @@ pub use config::SimConfig;
 pub use engine::simulate;
 pub use error::{SimError, SimResult};
 pub use fault::{Fault, FaultEvent, FaultTimeline};
+pub use frontier::{FaultFrontier, ReplayOp, ResumeState};
 pub use metrics::{ResourceStat, SimReport, TbStat};
 pub use obs::{BubbleCause, BubbleInterval, LinkTimeline, SimObservability, TbTimeline};
 pub use trace::{
@@ -479,6 +481,85 @@ mod tests {
             other => panic!("expected ResourceDown, got {other}"),
         }
         assert!(!err.is_transient());
+    }
+
+    /// A no-prune resume state built straight from a frontier: every
+    /// completed invocation marked done, with its buffer effect replayed
+    /// in per-chunk dependency order.
+    fn resume_from(dag: &DepDag, n_mb: u32, frontier: &FaultFrontier) -> ResumeState {
+        use rescc_topology::ChunkId;
+        let mut rs = ResumeState::new(dag.len() as u32, n_mb);
+        for c in 0..dag.n_chunks() {
+            for &t in dag.chunk_tasks(ChunkId::new(c)) {
+                for mb in 0..n_mb {
+                    if frontier.is_done(t.0, mb) {
+                        rs.mark_done(t.0, mb);
+                        let task = dag.task(t);
+                        rs.replay.push(ReplayOp {
+                            src: task.src.0,
+                            dst: task.dst.0,
+                            chunk: c,
+                            mb,
+                            reduce: task.comm == rescc_lang::CommType::Rrc,
+                        });
+                    }
+                }
+            }
+        }
+        rs
+    }
+
+    #[test]
+    fn resume_from_frontier_finishes_with_valid_data_in_residual_time() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(64 << 20, 4, 1 << 20);
+        let base = simulate(
+            &topo,
+            &dag,
+            &prog,
+            &plan,
+            OpType::AllGather,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        // Kill a channel at 60% of the healthy run.
+        let chan = topo.pair_chan(Rank::new(0), Rank::new(1));
+        let cfg = SimConfig::default()
+            .with_faults(FaultTimeline::new().kill(chan, base.completion_ns * 0.6));
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        let frontier = err.frontier().expect("abort carries a frontier").clone();
+        assert!(frontier.completed() > 0, "60% kill must leave progress");
+        assert!(
+            frontier.completed() < base.n_invocations,
+            "aborted run cannot have finished"
+        );
+        // Resume on a healthy fabric (the link was restored): only the
+        // residual work runs, data still validates, and the residual run
+        // is strictly cheaper than restarting from byte zero.
+        let resume = resume_from(&dag, plan.n_micro_batches, &frontier);
+        let rcfg = SimConfig::default().with_resume(resume);
+        let rep = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &rcfg).unwrap();
+        assert_eq!(rep.data_valid, Some(true));
+        assert_eq!(rep.n_invocations, base.n_invocations);
+        assert!(
+            rep.completion_ns < base.completion_ns,
+            "residual {} must be cheaper than a full run {}",
+            rep.completion_ns,
+            base.completion_ns
+        );
+    }
+
+    #[test]
+    fn resume_with_mismatched_dimensions_is_rejected() {
+        let topo = Topology::a100(1, 4);
+        let spec = ring_ag(4);
+        let (dag, prog) = build_all(&spec, &topo, LoopOrder::SlotMajor, ExecMode::DirectKernel);
+        let plan = MicroBatchPlan::plan(16 << 20, 4, 1 << 20);
+        let cfg = SimConfig::default().with_resume(ResumeState::new(3, 99));
+        let err = simulate(&topo, &dag, &prog, &plan, OpType::AllGather, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

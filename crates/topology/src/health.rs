@@ -38,6 +38,18 @@ impl TopologyHealth {
         }
     }
 
+    /// Un-mask `res` — it was restored and is usable again. Returns
+    /// `false` when it was not masked (nothing to heal).
+    pub fn unmask(&mut self, res: ResourceId) -> bool {
+        match self.dead.binary_search(&res) {
+            Ok(pos) => {
+                self.dead.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Is `res` masked?
     pub fn is_dead(&self, res: ResourceId) -> bool {
         self.dead.binary_search(&res).is_ok()
@@ -82,6 +94,18 @@ mod tests {
         assert!(h.is_dead(ResourceId::new(3)));
         assert!(h.is_healthy(ResourceId::new(4)));
         assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn unmask_heals_and_reports_progress() {
+        let mut h = TopologyHealth::healthy();
+        h.mask(ResourceId::new(3));
+        h.mask(ResourceId::new(7));
+        assert!(h.unmask(ResourceId::new(3)));
+        assert!(!h.unmask(ResourceId::new(3)), "double unmask is a no-op");
+        assert_eq!(h.dead(), &[ResourceId::new(7)]);
+        h.unmask(ResourceId::new(7));
+        assert!(h.is_empty());
     }
 
     #[test]
