@@ -58,6 +58,18 @@ pub enum LintCode {
     /// Degraded-plan soundness: a task routed over a resource masked dead
     /// in the topology's health overlay.
     RA005,
+    /// Buffer-lifetime overlap: a `(rank, chunk)` slot is rewritten while
+    /// a reader of the previous write is still unordered with the reuse —
+    /// across micro-batches the overwrite can land mid-read.
+    RA006,
+    /// Cost infeasibility: the schedule's windowed demand on a link
+    /// exceeds its capacity under the α–β–γ model (the plan cannot meet
+    /// its own makespan certificate).
+    RA007,
+    /// Residual dead transfer: a surviving task in a fault-frontier
+    /// residual plan that never contributes to the postcondition once
+    /// provenance is replayed from the frontier.
+    RA008,
 }
 
 impl LintCode {
@@ -69,6 +81,9 @@ impl LintCode {
             LintCode::RA003 => "RA003",
             LintCode::RA004 => "RA004",
             LintCode::RA005 => "RA005",
+            LintCode::RA006 => "RA006",
+            LintCode::RA007 => "RA007",
+            LintCode::RA008 => "RA008",
         }
     }
 
@@ -80,17 +95,23 @@ impl LintCode {
             LintCode::RA003 => "resource over-subscription or TB budget exceeded",
             LintCode::RA004 => "transfer never contributes to the operator postcondition",
             LintCode::RA005 => "task routed over a resource masked dead",
+            LintCode::RA006 => "slot reuse overlaps the previous write's read lifetime",
+            LintCode::RA007 => "scheduled demand exceeds link capacity (alpha-beta-gamma)",
+            LintCode::RA008 => "residual transfer dead after fault-frontier provenance replay",
         }
     }
 
     /// Every code, ascending.
-    pub fn all() -> [LintCode; 5] {
+    pub fn all() -> [LintCode; 8] {
         [
             LintCode::RA001,
             LintCode::RA002,
             LintCode::RA003,
             LintCode::RA004,
             LintCode::RA005,
+            LintCode::RA006,
+            LintCode::RA007,
+            LintCode::RA008,
         ]
     }
 }
@@ -171,6 +192,14 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the artifact stack the finding lives.
     pub site: Site,
+    /// Counterexample path: task indices witnessing the finding, in
+    /// evidence order. For RA001 this is the deadlock cycle; for RA002
+    /// `[divergence, writer_a, writer_b]` (divergence omitted when the
+    /// writers share no ancestor); for RA006
+    /// `[prior_write, reader, reuse]`. Empty when the lint has no path
+    /// evidence. Rendered by `rescc-lint --explain` and the JSON schema's
+    /// `path` key.
+    pub path: Vec<u32>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -184,18 +213,72 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The α–β–γ makespan lower-bound certificate computed by lint RA007 and
+/// carried on every clean plan's report.
+///
+/// The bound is `max(alpha_chain_ns, bottleneck drain)` where the drain
+/// is `bottleneck_tasks · chunk_total_bytes · bottleneck_beta_ns_per_byte`:
+/// no execution of the plan can finish faster than its critical startup
+/// chain, nor faster than its most-loaded link can serially move the
+/// bytes scheduled across it. The sim cross-check (bench harness,
+/// communicator watchdog) treats a report that undercuts this bound as a
+/// cost-model bug.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostCertificate {
+    /// Critical-path startup cost, ns: the maximum over DAG paths of the
+    /// summed α of non-fused tasks (fused cut-through forwards pay no α).
+    pub alpha_chain_ns: f64,
+    /// Raw resource id of the link with the largest serial drain floor.
+    pub bottleneck_resource: u32,
+    /// Number of tasks whose route crosses the bottleneck link.
+    pub bottleneck_tasks: u32,
+    /// The bottleneck link's β, ns per byte.
+    pub bottleneck_beta_ns_per_byte: f64,
+}
+
+// All fields are finite by construction (α/β come from LinkParams, the
+// chain is a finite sum), so equality is total in practice.
+impl Eq for CostCertificate {}
+
+impl CostCertificate {
+    /// The certified makespan lower bound, ns, for a run moving
+    /// `chunk_total_bytes` per (task, chunk) across all micro-batches.
+    pub fn lower_bound_ns(&self, chunk_total_bytes: u64) -> f64 {
+        let drain = self.bottleneck_tasks as f64
+            * chunk_total_bytes as f64
+            * self.bottleneck_beta_ns_per_byte;
+        self.alpha_chain_ns.max(drain)
+    }
+}
+
 /// The result of one analysis run: all findings, in a deterministic order
-/// (sorted by code, then site, then message).
+/// (sorted by code, then site, then message), plus the cost certificate
+/// when RA007 ran.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AnalysisReport {
     diagnostics: Vec<Diagnostic>,
+    certificate: Option<CostCertificate>,
 }
 
 impl AnalysisReport {
     /// Build a report, sorting the findings into the stable order.
     pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
         diagnostics.sort_by(|a, b| (a.code, a.site, &a.message).cmp(&(b.code, b.site, &b.message)));
-        Self { diagnostics }
+        Self {
+            diagnostics,
+            certificate: None,
+        }
+    }
+
+    /// Attach the makespan certificate (builder style).
+    pub fn with_certificate(mut self, certificate: CostCertificate) -> Self {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// The makespan certificate, when RA007 ran.
+    pub fn certificate(&self) -> Option<&CostCertificate> {
+        self.certificate.as_ref()
     }
 
     /// All findings.
@@ -260,17 +343,23 @@ impl AnalysisReport {
     /// Render the report as stable JSON.
     ///
     /// The schema is part of the tool's interface (documented in
-    /// DESIGN.md §8) and only ever grows:
+    /// DESIGN.md §12) and only ever grows:
     ///
     /// ```json
     /// {"diagnostics": [{"code": "RA001", "severity": "error",
     ///   "message": "...", "task": 0, "rank": 1, "tb": 0, "step": 2,
-    ///   "sub_pipeline": 0, "resource": 5, "chunk": 3}],
-    ///  "errors": 1, "warnings": 0}
+    ///   "sub_pipeline": 0, "resource": 5, "chunk": 3,
+    ///   "path": [0, 4, 0]}],
+    ///  "errors": 1, "warnings": 0,
+    ///  "certificate": {"alpha_chain_ns": 32000,
+    ///    "bottleneck_resource": 5, "bottleneck_tasks": 12,
+    ///    "bottleneck_beta_ns_per_byte": 0.04}}
     /// ```
     ///
-    /// Site fields are omitted when absent; `diagnostics` is sorted by
-    /// (code, site, message).
+    /// Site fields are omitted when absent, `path` when empty, and
+    /// `certificate` when RA007 did not run; `diagnostics` is sorted by
+    /// (code, site, message). Two runs over the same plan emit
+    /// byte-identical output.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -296,13 +385,35 @@ impl AnalysisReport {
                     out.push_str(&format!(", \"{key}\": {v}"));
                 }
             }
+            if !d.path.is_empty() {
+                out.push_str(", \"path\": [");
+                for (j, t) in d.path.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&t.to_string());
+                }
+                out.push(']');
+            }
             out.push('}');
         }
         out.push_str(&format!(
-            "], \"errors\": {}, \"warnings\": {}}}",
+            "], \"errors\": {}, \"warnings\": {}",
             self.n_errors(),
             self.n_warnings()
         ));
+        if let Some(c) = &self.certificate {
+            out.push_str(&format!(
+                ", \"certificate\": {{\"alpha_chain_ns\": {}, \
+                 \"bottleneck_resource\": {}, \"bottleneck_tasks\": {}, \
+                 \"bottleneck_beta_ns_per_byte\": {}}}",
+                c.alpha_chain_ns,
+                c.bottleneck_resource,
+                c.bottleneck_tasks,
+                c.bottleneck_beta_ns_per_byte
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -348,12 +459,14 @@ mod tests {
                 severity: Severity::Warn,
                 message: "dead".into(),
                 site: Site::task(3),
+                path: Vec::new(),
             },
             Diagnostic {
                 code: LintCode::RA001,
                 severity: Severity::Error,
                 message: "cycle".into(),
                 site: Site::task(0),
+                path: Vec::new(),
             },
         ]);
         assert_eq!(report.diagnostics()[0].code, LintCode::RA001);
@@ -376,6 +489,7 @@ mod tests {
                 chunk: Some(2),
                 ..Site::default()
             },
+            path: Vec::new(),
         }]);
         let json = report.to_json();
         assert_eq!(
@@ -383,6 +497,37 @@ mod tests {
             "{\"diagnostics\": [{\"code\": \"RA002\", \"severity\": \"error\", \
              \"message\": \"a \\\"race\\\"\\non slot\", \"task\": 7, \"rank\": 1, \
              \"chunk\": 2}], \"errors\": 1, \"warnings\": 0}"
+        );
+    }
+
+    #[test]
+    fn json_grows_path_and_certificate_append_only() {
+        let report = AnalysisReport::new(vec![Diagnostic {
+            code: LintCode::RA001,
+            severity: Severity::Error,
+            message: "cycle".into(),
+            site: Site::task(0),
+            path: vec![0, 4, 0],
+        }])
+        .with_certificate(CostCertificate {
+            alpha_chain_ns: 32000.0,
+            bottleneck_resource: 5,
+            bottleneck_tasks: 12,
+            bottleneck_beta_ns_per_byte: 0.04,
+        });
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"diagnostics\": [{\"code\": \"RA001\", \"severity\": \"error\", \
+             \"message\": \"cycle\", \"task\": 0, \"path\": [0, 4, 0]}], \
+             \"errors\": 1, \"warnings\": 0, \
+             \"certificate\": {\"alpha_chain_ns\": 32000, \
+             \"bottleneck_resource\": 5, \"bottleneck_tasks\": 12, \
+             \"bottleneck_beta_ns_per_byte\": 0.04}}"
+        );
+        assert_eq!(
+            report.certificate().unwrap().lower_bound_ns(1000),
+            32000.0_f64.max(12.0 * 1000.0 * 0.04)
         );
     }
 
@@ -408,6 +553,7 @@ mod tests {
                 resource: Some(9),
                 ..Site::default()
             },
+            path: Vec::new(),
         }]);
         let text = report.render_human();
         assert!(text.contains("error[RA005] at t4 res9: routed over dead link"));

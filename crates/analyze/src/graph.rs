@@ -10,15 +10,24 @@
 //! waits for its DAG predecessors via rendezvous with the peer TB. A cycle
 //! in this combined relation wedges the run even though every individual
 //! artifact is valid.
+//!
+//! The relation is stored in CSR form — one flat `targets` array indexed
+//! by `offsets` — because the happens-before oracle
+//! ([`HbOracle`](crate::HbOracle)) traverses it many times per `analyze`
+//! call and per-node `Vec`s cost a pointer chase per hop.
 
 use rescc_ir::{DepDag, TaskId};
 use rescc_kernel::KernelProgram;
 
-/// The combined order as an adjacency list over task indices, plus the
+/// The combined order as a CSR adjacency over task indices, plus the
 /// TB coordinates of each task's two sides (for diagnostics).
 pub struct CombinedOrder {
-    /// Successors of each task under the combined relation (deduplicated).
-    pub succs: Vec<Vec<u32>>,
+    /// CSR row offsets: node `u`'s successors live at
+    /// `targets[offsets[u]..offsets[u + 1]]`.
+    offsets: Vec<u32>,
+    /// CSR edge targets, deduplicated, in insertion order (DAG edges
+    /// first, then TB gating edges in program order).
+    targets: Vec<u32>,
     /// `(rank, tb)` of each task's sender slot, if present.
     pub send_tb: Vec<Option<(u32, u32)>>,
     /// `(rank, tb)` of each task's receive slot, if present.
@@ -29,14 +38,14 @@ impl CombinedOrder {
     /// Build the combined order for one compiled plan.
     pub fn build(dag: &DepDag, program: &KernelProgram) -> Self {
         let n = dag.len();
-        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut send_tb: Vec<Option<(u32, u32)>> = vec![None; n];
         let mut recv_tb: Vec<Option<(u32, u32)>> = vec![None; n];
 
         // Data dependencies.
         for t in dag.tasks() {
             for &s in dag.succs(t.id) {
-                push_edge(&mut succs, t.id, s);
+                push_edge(&mut rows, t.id, s);
             }
         }
 
@@ -59,13 +68,13 @@ impl CombinedOrder {
                     if slot.fused_with_prev {
                         if let Some(p) = prev {
                             if p != slot.task {
-                                push_edge(&mut succs, p, slot.task);
+                                push_edge(&mut rows, p, slot.task);
                             }
                         }
                     } else {
                         if let Some(g) = last_gating {
                             if g != slot.task {
-                                push_edge(&mut succs, g, slot.task);
+                                push_edge(&mut rows, g, slot.task);
                             }
                         }
                         last_gating = Some(slot.task);
@@ -75,8 +84,17 @@ impl CombinedOrder {
             }
         }
 
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for row in &rows {
+            targets.extend_from_slice(row);
+            offsets.push(targets.len() as u32);
+        }
+
         Self {
-            succs,
+            offsets,
+            targets,
             send_tb,
             recv_tb,
         }
@@ -84,12 +102,24 @@ impl CombinedOrder {
 
     /// Number of tasks.
     pub fn len(&self) -> usize {
-        self.succs.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.succs.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of combined-order edges.
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Successors of `u` under the combined relation.
+    pub fn succs(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
     }
 
     /// Kahn's algorithm over the combined relation. `Ok` is a valid
@@ -98,16 +128,14 @@ impl CombinedOrder {
     pub fn topo_or_cycle(&self) -> Result<Vec<u32>, Vec<u32>> {
         let n = self.len();
         let mut indeg = vec![0u32; n];
-        for ss in &self.succs {
-            for &s in ss {
-                indeg[s as usize] += 1;
-            }
+        for &s in &self.targets {
+            indeg[s as usize] += 1;
         }
         let mut queue: Vec<u32> = (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(t) = queue.pop() {
             order.push(t);
-            for &s in &self.succs[t as usize] {
+            for &s in self.succs(t) {
                 indeg[s as usize] -= 1;
                 if indeg[s as usize] == 0 {
                     queue.push(s);
@@ -129,21 +157,21 @@ impl CombinedOrder {
     /// sits on a cycle through itself).
     pub fn reachable_from(&self, from: u32) -> Vec<bool> {
         let mut seen = vec![false; self.len()];
-        let mut stack: Vec<u32> = self.succs[from as usize].clone();
+        let mut stack: Vec<u32> = self.succs(from).to_vec();
         while let Some(t) = stack.pop() {
             if seen[t as usize] {
                 continue;
             }
             seen[t as usize] = true;
-            stack.extend_from_slice(&self.succs[t as usize]);
+            stack.extend_from_slice(self.succs(t));
         }
         seen
     }
 }
 
-fn push_edge(succs: &mut [Vec<u32>], from: TaskId, to: TaskId) {
+fn push_edge(rows: &mut [Vec<u32>], from: TaskId, to: TaskId) {
     debug_assert_ne!(from, to);
-    if !succs[from.index()].contains(&to.0) {
-        succs[from.index()].push(to.0);
+    if !rows[from.index()].contains(&to.0) {
+        rows[from.index()].push(to.0);
     }
 }

@@ -16,16 +16,28 @@
 //! | RA003 | error/warn | over-subscription: conflict load above saturation / TB budget |
 //! | RA004 | warn     | dead transfer: contribution never reaches the postcondition |
 //! | RA005 | error    | degraded-plan soundness: task routed over a health-masked resource |
+//! | RA006 | error    | buffer-lifetime overlap: slot reuse unordered with a reader of the previous write |
+//! | RA007 | error    | cost infeasibility: windowed demand above link capacity (α–β–γ) |
+//! | RA008 | warn     | residual dead transfer: no contribution after fault-frontier replay |
+//!
+//! Order-sensitive lints (RA001, RA002, RA006) share one happens-before
+//! oracle ([`HbOracle`]) built over the combined order per `analyze`
+//! call; RA007 additionally computes an α–β–γ makespan lower-bound
+//! [`CostCertificate`] attached to the report, which the bench harness
+//! and the communicator cross-check against simulation results.
 //!
 //! Diagnostics carry a [`Site`] (task / rank / TB / step / sub-pipeline /
-//! resource / chunk, each optional) and render both human-readable
-//! (`error[RA001] at t3 r0 tb1: ...`) and as stable JSON via
-//! [`AnalysisReport::to_json`].
+//! resource / chunk, each optional) plus a counterexample [`path`]
+//! (`Diagnostic::path`) where the lint has one, and render both
+//! human-readable (`error[RA001] at t3 r0 tb1: ...`) and as stable JSON
+//! via [`AnalysisReport::to_json`].
 //!
 //! The pass is wired into three places: the compiler's *sanitize* phase
 //! after lowering (gate configurable deny/warn/off), the `rescc-lint` CLI,
 //! and the communicator's post-fault recovery path (every recompiled
 //! degraded plan is analyzed before the collective resumes).
+//!
+//! [`path`]: Diagnostic::path
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +45,14 @@
 pub mod diag;
 pub mod graph;
 pub mod lints;
+pub mod oracle;
 
-pub use diag::{AnalysisReport, Diagnostic, LintCode, Severity, Site};
+pub use diag::{AnalysisReport, CostCertificate, Diagnostic, LintCode, Severity, Site};
 pub use graph::CombinedOrder;
+pub use oracle::{HbOracle, OracleStats};
 
 use rescc_alloc::TbAllocation;
-use rescc_ir::DepDag;
+use rescc_ir::{DepDag, TaskId};
 use rescc_kernel::KernelProgram;
 use rescc_lang::AlgoSpec;
 use rescc_sched::Schedule;
@@ -78,23 +92,45 @@ pub struct AnalysisInput<'a> {
     pub topo: &'a Topology,
 }
 
+/// What a residual plan was carved out of: the context
+/// [`analyze_residual`] needs to replay provenance from the fault
+/// frontier (lint RA008).
+pub struct ResidualContext<'a> {
+    /// The original (pre-fault) dependency DAG the residual was pruned
+    /// from.
+    pub orig_dag: &'a DepDag,
+    /// Map from residual task id to original task id
+    /// (`orig_ids[residual.index()]`), as returned by
+    /// [`DepDag::residual`].
+    pub orig_ids: &'a [TaskId],
+    /// Per-*original*-task completion mask: `true` for tasks whose every
+    /// invocation finished before the fault (the pruned prefix).
+    pub completed: &'a [bool],
+}
+
 /// Run every lint over one compiled plan and collect the diagnostics.
 ///
 /// The report is deterministic: diagnostics are sorted by
-/// `(code, site, message)` regardless of discovery order.
+/// `(code, site, message)` regardless of discovery order, and carries the
+/// RA007 makespan certificate.
 pub fn analyze(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport {
     let order = CombinedOrder::build(input.dag, input.program);
+    let chunk_of: Vec<u32> = input.dag.tasks().iter().map(|t| t.chunk.0).collect();
     let mut out = Vec::new();
-    match order.topo_or_cycle() {
+    match HbOracle::build(&order, &chunk_of) {
         // A cycle poisons reachability queries; report only the deadlock
         // and let the user re-run once it is fixed.
-        Err(_) => lints::ra001_deadlock(input, &order, &mut out),
-        Ok(topo) => lints::ra002_buffer_race(input, &order, &topo, &mut out),
+        Err(stuck) => lints::ra001_deadlock(input, &order, &stuck, &mut out),
+        Ok(mut oracle) => {
+            lints::ra002_buffer_race(input, &order, &mut oracle, &mut out);
+            lints::ra006_lifetime_overlap(input, &order, &mut oracle, &mut out);
+        }
     }
     lints::ra003_oversubscription(input, config, &mut out);
     lints::ra004_dead_transfer(input, &mut out);
     lints::ra005_degraded_soundness(input, &mut out);
-    AnalysisReport::new(out)
+    let certificate = lints::ra007_cost_feasibility(input, &mut out);
+    AnalysisReport::new(out).with_certificate(certificate)
 }
 
 /// Re-analyze a plan whose *routing* changed but whose structure did not.
@@ -105,21 +141,24 @@ pub fn analyze(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport
 /// the per-task `path`/`conflict` resource sets and the topology health
 /// overlay differ (the incremental-recompile splice path: the router
 /// re-resolved routes around masked resources and the old schedule stayed
-/// feasible). Under those invariants three lints cannot change verdicts,
+/// feasible). Under those invariants four lints cannot change verdicts,
 /// because routing is not among their inputs:
 ///
 /// * RA001 reads DAG edges ∪ per-TB slot order ∪ fusion gates — unchanged;
 /// * RA002 reads the same combined order plus `(dst, chunk, comm)` — unchanged;
-/// * RA004 replays `(src, dst, chunk, step, comm)` — unchanged.
+/// * RA004 replays `(src, dst, chunk, step, comm)` — unchanged;
+/// * RA006 reads the combined order plus `(src, dst, chunk)` — unchanged.
 ///
-/// Their diagnostics are spliced through from `cached`, and only RA003
-/// (conflict loads against saturation limits) and RA005 (routes vs. the
-/// health overlay) re-run — RA003's load check only over
-/// `dirty_sub_pipelines`, the sub-pipelines that contain a rerouted task
-/// (loads elsewhere are unchanged, so their cached verdicts splice through
-/// too, as do the TB-budget warnings: the allocation is untouched). The
-/// result is a full RA001–RA005 report at a cost proportional to the
-/// dirty region plus one linear RA005 scan.
+/// Their diagnostics are spliced through from `cached`. RA003's load
+/// check re-runs only over `dirty_sub_pipelines`, the sub-pipelines that
+/// contain a rerouted task (loads elsewhere are unchanged, so their
+/// cached verdicts splice through too, as do the TB-budget warnings: the
+/// allocation is untouched). RA005 (routes vs. the health overlay) and
+/// RA007 (route occupancy, windowed demand, and the makespan certificate
+/// — reroutes move bytes onto different links) re-run in full; both are
+/// linear scans that never touch the combined order. The result is a
+/// full RA001–RA007 report, with a fresh certificate, at a cost
+/// proportional to the dirty region plus two linear scans.
 pub fn analyze_rerouted(
     input: &AnalysisInput,
     _config: &AnalysisConfig,
@@ -130,7 +169,7 @@ pub fn analyze_rerouted(
         .diagnostics()
         .iter()
         .filter(|d| match d.code {
-            LintCode::RA001 | LintCode::RA002 | LintCode::RA004 => true,
+            LintCode::RA001 | LintCode::RA002 | LintCode::RA004 | LintCode::RA006 => true,
             // RA003 splices through except for load findings inside a
             // dirty sub-pipeline, which are superseded by the re-run
             // below. Budget warnings carry no sub-pipeline site.
@@ -138,14 +177,18 @@ pub fn analyze_rerouted(
                 Some(sp) => !dirty_sub_pipelines.contains(&sp),
                 None => true,
             },
-            // RA005 re-runs in full against the new health overlay.
-            LintCode::RA005 => false,
+            // RA005 and RA007 re-run in full against the new routes.
+            LintCode::RA005 | LintCode::RA007 => false,
+            // RA008 only ever appears on residual plans, which never take
+            // the reroute-splice path; drop defensively.
+            LintCode::RA008 => false,
         })
         .cloned()
         .collect();
     lints::ra003_sub_pipeline_loads(input, dirty_sub_pipelines, &mut out);
     lints::ra005_degraded_soundness(input, &mut out);
-    AnalysisReport::new(out)
+    let certificate = lints::ra007_cost_feasibility(input, &mut out);
+    AnalysisReport::new(out).with_certificate(certificate)
 }
 
 /// Analyze a *residual* plan — the pruned remainder a partial-progress
@@ -154,30 +197,35 @@ pub fn analyze_rerouted(
 /// A residual DAG keeps only the tasks with unfinished invocations; the
 /// completed prefix's transfers are gone, but their buffer contributions
 /// already landed (and are reconstructed by the resume replay). Every
-/// structural and routing lint still applies to the remainder exactly as
-/// to a fresh plan:
-///
-/// * RA001 — the residual combined order must still be acyclic;
-/// * RA002 — surviving writes to one slot must still be ordered;
-/// * RA003 — residual conflict loads must still fit under saturation;
-/// * RA005 — no surviving task may route over a masked resource.
-///
-/// RA004 (dead transfer) is deliberately **skipped**: it replays the
-/// plan's transfers against the spec's postcondition, and with the
-/// completed prefix pruned every chunk would spuriously appear to never
-/// reach it. The full plan already passed RA004 at its own compile; the
-/// pruned prefix's contributions are provenance-checked by the recovery
-/// layer instead.
-pub fn analyze_residual(input: &AnalysisInput, config: &AnalysisConfig) -> AnalysisReport {
+/// structural, routing, and cost lint applies to the remainder exactly
+/// as to a fresh plan (RA001, RA002, RA003, RA005, RA006, RA007 — with a
+/// fresh makespan certificate for the residual work). Dead-transfer
+/// coverage comes from RA008 instead of RA004: RA004's replay assumes
+/// each chunk starts from the spec's precondition, which the completed
+/// prefix has already advanced past, so RA008 replays provenance *from
+/// the fault frontier* (`ctx`) — completed tasks first, surviving tasks
+/// after — and flags surviving tasks that no longer contribute to the
+/// postcondition.
+pub fn analyze_residual(
+    input: &AnalysisInput,
+    config: &AnalysisConfig,
+    ctx: &ResidualContext,
+) -> AnalysisReport {
     let order = CombinedOrder::build(input.dag, input.program);
+    let chunk_of: Vec<u32> = input.dag.tasks().iter().map(|t| t.chunk.0).collect();
     let mut out = Vec::new();
-    match order.topo_or_cycle() {
-        Err(_) => lints::ra001_deadlock(input, &order, &mut out),
-        Ok(topo) => lints::ra002_buffer_race(input, &order, &topo, &mut out),
+    match HbOracle::build(&order, &chunk_of) {
+        Err(stuck) => lints::ra001_deadlock(input, &order, &stuck, &mut out),
+        Ok(mut oracle) => {
+            lints::ra002_buffer_race(input, &order, &mut oracle, &mut out);
+            lints::ra006_lifetime_overlap(input, &order, &mut oracle, &mut out);
+        }
     }
     lints::ra003_oversubscription(input, config, &mut out);
     lints::ra005_degraded_soundness(input, &mut out);
-    AnalysisReport::new(out)
+    lints::ra008_residual_dead_transfer(input, ctx, &mut out);
+    let certificate = lints::ra007_cost_feasibility(input, &mut out);
+    AnalysisReport::new(out).with_certificate(certificate)
 }
 
 #[cfg(test)]
@@ -220,6 +268,10 @@ mod tests {
             &AnalysisConfig::default(),
         );
         assert!(report.is_clean(), "unexpected: {}", report.render_human());
+        let cert = report.certificate().expect("certificate attached");
+        assert!(cert.alpha_chain_ns > 0.0, "ring has a nonempty alpha chain");
+        assert!(cert.bottleneck_tasks > 0);
+        assert!(cert.lower_bound_ns(1 << 20) > 0.0);
     }
 
     #[test]
@@ -239,5 +291,6 @@ mod tests {
             &AnalysisConfig::default(),
         );
         assert!(report.is_clean(), "unexpected: {}", report.render_human());
+        assert!(report.certificate().is_some());
     }
 }

@@ -1,23 +1,37 @@
-//! The lint passes RA001–RA005.
+//! The lint passes RA001–RA008.
+//!
+//! Order-sensitive passes (RA001, RA002, RA006) share one happens-before
+//! oracle ([`HbOracle`]) built over the combined order; cost-side passes
+//! (RA007) work on the data DAG and the schedule alone so the incremental
+//! paths can re-run them without rebuilding the combined order.
 
-use crate::diag::{Diagnostic, LintCode, Severity, Site};
+use crate::diag::{CostCertificate, Diagnostic, LintCode, Severity, Site};
 use crate::graph::CombinedOrder;
-use crate::{AnalysisConfig, AnalysisInput};
+use crate::oracle::HbOracle;
+use crate::{AnalysisConfig, AnalysisInput, ResidualContext};
 use rescc_lang::{CommType, OpType};
-use rescc_topology::ChunkId;
+use rescc_topology::{ChunkId, LinkParams};
 use std::collections::HashMap;
 
 /// RA001 — deadlock: a cycle in the combined order (DAG edges ∪ per-TB
 /// serialization ∪ fusion cut-through gates). Every invocation needs both
 /// its TBs at the rendezvous *and* its DAG predecessors complete; a cycle
 /// therefore wedges the engine with the event heap drained.
-pub fn ra001_deadlock(input: &AnalysisInput, order: &CombinedOrder, out: &mut Vec<Diagnostic>) {
-    let stuck = match order.topo_or_cycle() {
-        Ok(_) => return,
-        Err(stuck) => stuck,
-    };
+///
+/// `stuck` is the cycle-stuck set the oracle build reported (the `Err`
+/// value of [`HbOracle::build`]); the pass walks inside it to print one
+/// concrete cycle and records it as the diagnostic's counterexample path.
+pub fn ra001_deadlock(
+    input: &AnalysisInput,
+    order: &CombinedOrder,
+    stuck: &[u32],
+    out: &mut Vec<Diagnostic>,
+) {
+    if stuck.is_empty() {
+        return;
+    }
     // Walk inside the stuck set to print one concrete cycle.
-    let cycle = find_cycle(order, &stuck);
+    let cycle = find_cycle(order, stuck);
     let path = cycle
         .iter()
         .map(|t| format!("t{t}"))
@@ -43,6 +57,7 @@ pub fn ra001_deadlock(input: &AnalysisInput, order: &CombinedOrder, out: &mut Ve
             step: Some(input.dag.task(rescc_ir::TaskId::new(first)).step.0),
             ..Site::default()
         },
+        path: cycle,
     });
 }
 
@@ -65,7 +80,8 @@ fn find_cycle(order: &CombinedOrder, stuck: &[u32]) -> Vec<u32> {
         }
         pos.insert(cur, path.len());
         path.push(cur);
-        let next = order.succs[cur as usize]
+        let next = order
+            .succs(cur)
             .iter()
             .copied()
             .find(|&s| in_stuck[s as usize]);
@@ -85,17 +101,16 @@ fn find_cycle(order: &CombinedOrder, stuck: &[u32]) -> Vec<u32> {
 /// allocation and fusion can leave *cross-step* writes unordered too, and
 /// those are invisible at spec level.
 ///
-/// `topo` is a valid topological order of `order` (the Ok value of
-/// [`CombinedOrder::topo_or_cycle`], which the caller has already computed
-/// for RA001). Every edge goes forward in it, so for any writer pair only
-/// the earlier-positioned task can possibly reach the later one — one
-/// pruned DFS per pair instead of a full reachability bitmap per writer.
-/// Same-slot writers carry WAW dependency edges, so the common case hits
-/// the target in the first adjacency scan.
+/// Reachability queries go through the shared [`HbOracle`]. Reachability
+/// is transitive, so the group of same-slot writers is ordered by topo
+/// position and *consecutive* pairs are queried once; any wider pair is
+/// ordered iff no unordered gap lies between them (`gaps` prefix count).
+/// Racing pairs additionally record their divergence point (the latest
+/// common ancestor) as the counterexample path `[divergence, a, b]`.
 pub fn ra002_buffer_race(
     input: &AnalysisInput,
     order: &CombinedOrder,
-    topo: &[u32],
+    oracle: &mut HbOracle,
     out: &mut Vec<Diagnostic>,
 ) {
     // Writers per (dst rank, chunk) slot.
@@ -108,36 +123,16 @@ pub fn ra002_buffer_race(
     }
     let mut keys: Vec<(u32, u32)> = writers.keys().copied().collect();
     keys.sort_unstable();
-    let mut pos: Vec<u32> = vec![0; order.len()];
-    for (i, &t) in topo.iter().enumerate() {
-        pos[t as usize] = i as u32;
-    }
-    let mut visited: Vec<u32> = vec![0; order.len()];
-    let mut stamp: u32 = 0;
-    let mut stack: Vec<u32> = Vec::new();
     for key in keys {
         let group = &writers[&key];
         if group.len() < 2 {
             continue;
         }
-        // Reachability is transitive, so order the group by topo position
-        // and check *consecutive* pairs once: in a clean plan consecutive
-        // same-slot writers carry direct WAW edges, and any wider pair is
-        // ordered iff no unordered gap lies between them (`gaps` prefix
-        // count). Only pairs spanning a gap fall back to a full DFS.
         let mut sorted: Vec<u32> = group.clone();
-        sorted.sort_unstable_by_key(|&t| pos[t as usize]);
+        sorted.sort_unstable_by_key(|&t| oracle.pos(t));
         let mut gaps: Vec<u32> = vec![0; sorted.len()];
         for i in 1..sorted.len() {
-            let linked = reaches(
-                order,
-                &pos,
-                &mut visited,
-                &mut stamp,
-                &mut stack,
-                sorted[i - 1],
-                sorted[i],
-            );
+            let linked = oracle.reaches(order, sorted[i - 1], sorted[i]);
             gaps[i] = gaps[i - 1] + u32::from(!linked);
         }
         for (i, &a) in group.iter().enumerate() {
@@ -147,26 +142,23 @@ pub fn ra002_buffer_race(
                 if ca != CommType::Recv && cb != CommType::Recv {
                     continue; // rrc + rrc commutes
                 }
-                let (first, second) = if pos[a as usize] < pos[b as usize] {
+                let (first, second) = if oracle.pos(a) < oracle.pos(b) {
                     (a, b)
                 } else {
                     (b, a)
                 };
                 let ia = sorted.iter().position(|&t| t == first).unwrap();
                 let ib = sorted.iter().position(|&t| t == second).unwrap();
-                let ordered = gaps[ia] == gaps[ib]
-                    || reaches(
-                        order,
-                        &pos,
-                        &mut visited,
-                        &mut stamp,
-                        &mut stack,
-                        first,
-                        second,
-                    );
+                let ordered = gaps[ia] == gaps[ib] || oracle.reaches(order, first, second);
                 if !ordered {
                     let (rank, chunk) = key;
                     let tb = input.dag.task(rescc_ir::TaskId::new(b));
+                    let mut path = Vec::new();
+                    if let Some(d) = oracle.divergence(order, a, b) {
+                        path.push(d);
+                    }
+                    path.push(a);
+                    path.push(b);
                     out.push(Diagnostic {
                         code: LintCode::RA002,
                         severity: Severity::Error,
@@ -183,47 +175,12 @@ pub fn ra002_buffer_race(
                             step: Some(tb.step.0),
                             ..Site::default()
                         },
+                        path,
                     });
                 }
             }
         }
     }
-}
-
-/// Is there a path `from -> to` in the combined order? Prunes by topo
-/// position: only nodes positioned strictly before `to` can lie on such a
-/// path, so the search space is the interval between the two writers, not
-/// the whole graph. `visited` is stamp-versioned so the buffers are reused
-/// across queries without clearing.
-fn reaches(
-    order: &CombinedOrder,
-    pos: &[u32],
-    visited: &mut [u32],
-    stamp: &mut u32,
-    stack: &mut Vec<u32>,
-    from: u32,
-    to: u32,
-) -> bool {
-    if from == to {
-        return true;
-    }
-    *stamp += 1;
-    let limit = pos[to as usize];
-    stack.clear();
-    stack.push(from);
-    visited[from as usize] = *stamp;
-    while let Some(u) = stack.pop() {
-        for &s in &order.succs[u as usize] {
-            if s == to {
-                return true;
-            }
-            if pos[s as usize] < limit && visited[s as usize] != *stamp {
-                visited[s as usize] = *stamp;
-                stack.push(s);
-            }
-        }
-    }
-    false
 }
 
 /// RA003 — over-subscription: (a) a conflict resource carries more
@@ -257,6 +214,7 @@ pub fn ra003_oversubscription(
                     rank: Some(rank as u32),
                     ..Site::default()
                 },
+                path: Vec::new(),
             });
         }
     }
@@ -301,6 +259,7 @@ pub fn ra003_sub_pipeline_loads(
                         sub_pipeline: Some(sp_idx),
                         ..Site::default()
                     },
+                    path: Vec::new(),
                 });
             }
         }
@@ -402,6 +361,7 @@ pub fn ra004_dead_transfer(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
                         chunk: Some(chunk),
                         ..Site::default()
                     },
+                    path: Vec::new(),
                 });
             }
         }
@@ -446,7 +406,474 @@ pub fn ra005_degraded_soundness(input: &AnalysisInput, out: &mut Vec<Diagnostic>
                     resource: Some(res.0),
                     ..Site::default()
                 },
+                path: Vec::new(),
             });
+        }
+    }
+}
+
+/// RA006 — cross-micro-batch buffer-lifetime overlap.
+///
+/// A `(rank, chunk)` slot's value lives from the write that produced it
+/// until its last reader. The slot-major engine reuses the same device
+/// slot for every micro-batch, so when a *later* write into the slot is
+/// not ordered after every reader of the *previous* write, micro-batch
+/// pipelining can land the overwrite while a reader is still forwarding
+/// the old value. RA002 cannot see this class: the two writes themselves
+/// may be perfectly ordered (WAW edge) — it is the write→read→write
+/// triangle that is broken.
+///
+/// For each slot the writers are ordered by topo position; for each
+/// consecutive writer pair `(w1, w2)` every reader `r` of the slot with
+/// `w1 ⊑ r` must satisfy `r ⊑ w2` or `w2 ⊑ r`. Violations are errors
+/// with counterexample path `[w1, r, w2]`.
+///
+/// Same-chunk positive queries are resolved against a per-chunk
+/// transitive closure over the chunk-local DAG edges (chunk data flow is
+/// intra-chunk, so this is the hot path); everything else falls back to
+/// the shared oracle.
+pub fn ra006_lifetime_overlap(
+    input: &AnalysisInput,
+    order: &CombinedOrder,
+    oracle: &mut HbOracle,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n_tasks = input.dag.len();
+    let mut local: Vec<u32> = vec![u32::MAX; n_tasks];
+    for chunk in 0..input.dag.n_chunks() {
+        let chunk_tasks = input.dag.chunk_tasks(ChunkId::new(chunk));
+        if chunk_tasks.len() < 2 {
+            continue;
+        }
+        for (li, &t) in chunk_tasks.iter().enumerate() {
+            local[t.index()] = li as u32;
+        }
+        let n = chunk_tasks.len();
+        let words = n.div_ceil(64);
+        // Chunk-local transitive closure over DAG edges, positive-only:
+        // rows are filled in reverse list order so a row unions its
+        // successors' completed rows. Edges that point backward in list
+        // order (impossible for chunk-internal data edges, which follow
+        // ascending steps) are skipped, keeping every set bit a true
+        // "reaches" fact.
+        let mut closure: Vec<u64> = vec![0u64; n * words];
+        for (li, &t) in chunk_tasks.iter().enumerate().rev() {
+            for &s in input.dag.succs(t) {
+                let ls = local[s.index()];
+                if ls == u32::MAX {
+                    continue; // cross-chunk successor
+                }
+                let ls = ls as usize;
+                if ls <= li {
+                    continue;
+                }
+                let (head, tail) = closure.split_at_mut(ls * words);
+                let row = &mut head[li * words..(li + 1) * words];
+                for (a, b) in row.iter_mut().zip(&tail[..words]) {
+                    *a |= b;
+                }
+                row[ls / 64] |= 1u64 << (ls % 64);
+            }
+        }
+        let chunk_reaches = |closure: &[u64], a: u32, b: u32| -> bool {
+            let la = local[a as usize] as usize;
+            let lb = local[b as usize] as usize;
+            closure[la * words + lb / 64] >> (lb % 64) & 1 == 1
+        };
+
+        // Writers (by dst) and readers (by src) per rank, within the chunk.
+        let mut writers: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut readers: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &t in chunk_tasks {
+            let task = input.dag.task(t);
+            writers.entry(task.dst.0).or_default().push(t.0);
+            readers.entry(task.src.0).or_default().push(t.0);
+        }
+        let mut ranks: Vec<u32> = writers.keys().copied().collect();
+        ranks.sort_unstable();
+        for rank in ranks {
+            let ws = &writers[&rank];
+            if ws.len() < 2 {
+                continue;
+            }
+            let rs = match readers.get(&rank) {
+                Some(rs) => rs,
+                None => continue,
+            };
+            let mut sorted = ws.clone();
+            sorted.sort_unstable_by_key(|&t| oracle.pos(t));
+            for win in sorted.windows(2) {
+                let (w1, w2) = (win[0], win[1]);
+                for &r in rs {
+                    if r == w1 || r == w2 {
+                        continue;
+                    }
+                    // Reader of w1's lifetime?
+                    if !(chunk_reaches(&closure, w1, r) || oracle.reaches(order, w1, r)) {
+                        continue;
+                    }
+                    // Safe iff the reuse is ordered with the reader
+                    // (either direction: after the read, or the reader
+                    // observes the new value deterministically).
+                    if chunk_reaches(&closure, r, w2)
+                        || chunk_reaches(&closure, w2, r)
+                        || oracle.reaches(order, r, w2)
+                        || oracle.reaches(order, w2, r)
+                    {
+                        continue;
+                    }
+                    let task = input.dag.task(rescc_ir::TaskId::new(w2));
+                    out.push(Diagnostic {
+                        code: LintCode::RA006,
+                        severity: Severity::Error,
+                        message: format!(
+                            "buffer lifetime overlap: task t{w2} reuses rank r{rank} \
+                             chunk c{chunk} while t{r}, a reader of the previous \
+                             write t{w1}, is unordered with the reuse — micro-batch \
+                             pipelining can overwrite the slot mid-read"
+                        ),
+                        site: Site {
+                            task: Some(w2),
+                            rank: Some(rank),
+                            chunk: Some(chunk),
+                            step: Some(task.step.0),
+                            ..Site::default()
+                        },
+                        path: vec![w1, r, w2],
+                    });
+                }
+            }
+        }
+
+        for &t in chunk_tasks {
+            local[t.index()] = u32::MAX;
+        }
+    }
+}
+
+/// RA007 — static bandwidth/latency feasibility under the α–β–γ model,
+/// plus the makespan lower-bound certificate.
+///
+/// The certificate is `max(critical-path α-chain, per-link bytes·β)`:
+///
+/// * **α-chain** — longest-path DP over the data DAG where each task
+///   costs its startup α (the maximum α over its conflict resources, the
+///   same rule the engine applies) and fused cut-through forwards cost
+///   zero (they start when their feeder starts and pay no α). Every
+///   completion-gated edge forces `start(succ) ≥ start(pred) + α(pred)`,
+///   so no run finishes before the heaviest chain.
+/// * **per-link drain** — every task moves its chunk's bytes through
+///   every resource on its route, and a link moves at most `1/β` bytes
+///   per ns regardless of concurrency, so
+///   `n_tasks(link) · chunk_bytes · β` lower-bounds the makespan. The
+///   certificate records the bottleneck link (the argmax).
+///
+/// The feasibility *error* fires when a sub-pipeline window demands bytes
+/// through a resource whose deliverable bandwidth is **zero** under the
+/// configured α–β–γ parameters: the windowed demand then exceeds the
+/// link's capacity over every window duration, so the window can never
+/// drain and the makespan floor is infinite. *Finite* over-demand is
+/// deliberately not an error in this model — the engine fair-shares a
+/// capacity port's line rate and prices conflict-link oversubscription
+/// with the γ·L(z) penalty, and seed algorithms lean on exactly that
+/// (the hierarchical one-shot intra phase drives every peer TB through
+/// the GPU port at once). Conflict-resource saturation is RA003's
+/// domain and the boolean dead-resource mask is RA005's; RA007 catches
+/// the parameter-level collapse (a brownout overlay or misconfigured
+/// fabric that zeroes a link's rate) that neither sees.
+pub fn ra007_cost_feasibility(input: &AnalysisInput, out: &mut Vec<Diagnostic>) -> CostCertificate {
+    let n = input.dag.len();
+
+    // Fused marks + feeder edges from the lowered program (the engine
+    // derives its cut-through gates from the same slots).
+    let mut fused = vec![false; n];
+    let mut feeder: Vec<u32> = vec![u32::MAX; n];
+    for rp in &input.program.ranks {
+        for tb in &rp.tbs {
+            let mut prev: Option<rescc_ir::TaskId> = None;
+            for slot in &tb.slots {
+                if slot.fused_with_prev {
+                    fused[slot.task.index()] = true;
+                    if let Some(p) = prev {
+                        if p != slot.task {
+                            feeder[slot.task.index()] = p.0;
+                        }
+                    }
+                }
+                prev = Some(slot.task);
+            }
+        }
+    }
+
+    // Per-task startup α: the engine charges the max α over the task's
+    // conflict resources, and zero for fused forwards.
+    let alpha_of = |t: u32| -> f64 {
+        if fused[t as usize] {
+            return 0.0;
+        }
+        let mut a = 0.0f64;
+        for &d in input
+            .dag
+            .conflict_dense(rescc_ir::TaskId::new(t))
+            .as_slice()
+        {
+            a = a.max(input.dag.resource_params_at(d).alpha_ns);
+        }
+        a
+    };
+
+    // Longest α-chain over the data DAG (acyclic by construction; fall
+    // back to zero defensively if not).
+    let mut alpha_chain_ns = 0.0f64;
+    if let Ok(topo_order) = input.dag.topo_order() {
+        let mut es = vec![0.0f64; n];
+        for &tid in &topo_order {
+            let t = tid.0;
+            let a_t = alpha_of(t);
+            for &p in input.dag.preds(tid) {
+                let w = if feeder[t as usize] == p.0 {
+                    0.0 // fused follower starts when its feeder starts
+                } else {
+                    alpha_of(p.0)
+                };
+                es[t as usize] = es[t as usize].max(es[p.index()] + w);
+            }
+            alpha_chain_ns = alpha_chain_ns.max(es[t as usize] + a_t);
+        }
+    }
+
+    // Route-resource occupancy (raw ids; `path` includes capacity
+    // resources the dense conflict index never sees).
+    let n_res = input.topo.n_resources() as usize;
+    let mut params_cache: Vec<Option<LinkParams>> = vec![None; n_res];
+    let mut params_of = |r: u32, input: &AnalysisInput| -> LinkParams {
+        if let Some(p) = params_cache[r as usize] {
+            return p;
+        }
+        let p = input
+            .topo
+            .resource_params(rescc_topology::ResourceId::new(r))
+            .expect("task routed over a resource of this topology");
+        params_cache[r as usize] = Some(p);
+        p
+    };
+    let mut route_tasks: Vec<u32> = vec![0; n_res];
+    for t in input.dag.tasks() {
+        for r in t.path.iter() {
+            route_tasks[r.index()] += 1;
+        }
+    }
+    // Zero-rate resources (infinite β) are excluded: the certificate
+    // stays finite and reports the tightest *deliverable* link floor,
+    // while the infeasibility itself is RA007's error below.
+    let mut bottleneck = (0u32, 0u32, 0.0f64); // (resource, tasks, beta)
+    let mut best_floor = -1.0f64;
+    for (r, &count) in route_tasks.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let p = params_of(r as u32, input);
+        let floor = count as f64 * p.beta_ns_per_byte;
+        if floor.is_finite() && floor > best_floor {
+            best_floor = floor;
+            bottleneck = (r as u32, count, p.beta_ns_per_byte);
+        }
+    }
+
+    // Windowed demand vs deliverable capacity, per sub-pipeline window.
+    // A resource delivers min(tb_bw, 1/β) to its first TB; when that is
+    // zero the window's demand exceeds the link's capacity for every
+    // window length — the bytes can never drain.
+    let mut window: HashMap<u32, (u32, u32)> = HashMap::new(); // res -> (tasks, first offender)
+    for (sp_idx, sp) in input.schedule.sub_pipelines.iter().enumerate() {
+        window.clear();
+        for &tid in sp {
+            let task = input.dag.task(tid);
+            for r in task.path.iter() {
+                let p = params_of(r.0, input);
+                if p.tb_bw_bytes_per_ns <= 0.0 || p.bandwidth() <= 0.0 {
+                    window.entry(r.0).or_insert((0, tid.0)).0 += 1;
+                }
+            }
+        }
+        let mut entries: Vec<(u32, (u32, u32))> = window.drain().collect();
+        entries.sort_unstable();
+        for (r, (n_tasks, task)) in entries {
+            out.push(Diagnostic {
+                code: LintCode::RA007,
+                severity: Severity::Error,
+                message: format!(
+                    "cost infeasibility: sub-pipeline {sp_idx} demands \
+                     {n_tasks} transfer(s) through resource res{r} whose \
+                     deliverable bandwidth is zero under the \u{3b1}\u{2013}\
+                     \u{3b2}\u{2013}\u{3b3} parameters — windowed demand \
+                     exceeds link capacity at every window length, the bytes \
+                     never drain (Eq. 1)"
+                ),
+                site: Site {
+                    task: Some(task),
+                    resource: Some(r),
+                    sub_pipeline: Some(sp_idx as u32),
+                    ..Site::default()
+                },
+                path: Vec::new(),
+            });
+        }
+    }
+
+    CostCertificate {
+        alpha_chain_ns,
+        bottleneck_resource: bottleneck.0,
+        bottleneck_tasks: bottleneck.1,
+        bottleneck_beta_ns_per_byte: bottleneck.2,
+    }
+}
+
+/// RA008 — frontier-aware residual provenance.
+///
+/// RA004's replay assumes every chunk's history starts from the spec's
+/// precondition, which is false for a residual plan: the completed prefix
+/// already moved data. Replaying the *original* pattern — completed tasks
+/// first, in per-chunk step order (exactly the resume-state replay the
+/// residual compiler performs), then the surviving tasks under RA004's
+/// step-group semantics — recovers full dead-transfer coverage: a
+/// surviving task whose contribution reaches no required slot moves bytes
+/// for nothing in the resumed run.
+pub fn ra008_residual_dead_transfer(
+    input: &AnalysisInput,
+    ctx: &ResidualContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n_ranks = input.spec.n_ranks() as usize;
+    let orig = ctx.orig_dag;
+    debug_assert_eq!(ctx.completed.len(), orig.len());
+    // Map original → residual id to anchor diagnostics on the plan under
+    // analysis.
+    let mut residual_of: Vec<u32> = vec![u32::MAX; orig.len()];
+    for (ri, &oid) in ctx.orig_ids.iter().enumerate() {
+        residual_of[oid.index()] = ri as u32;
+    }
+
+    let mut local: Vec<u32> = vec![u32::MAX; orig.len()];
+    for chunk in 0..orig.n_chunks() {
+        let chunk_tasks = orig.chunk_tasks(ChunkId::new(chunk));
+        if chunk_tasks.is_empty() {
+            continue;
+        }
+        for (li, &t) in chunk_tasks.iter().enumerate() {
+            local[t.index()] = li as u32;
+        }
+        let words = chunk_tasks.len().div_ceil(64);
+        let mut prov: Vec<u64> = vec![0u64; n_ranks * words];
+
+        // Phase 1 — the fault frontier: completed tasks applied
+        // sequentially in per-chunk order, mirroring the resume-state
+        // replay (`ReplayOp`) the residual compiler hands the engine.
+        for &t in chunk_tasks {
+            if !ctx.completed[t.index()] {
+                continue;
+            }
+            let task = orig.task(t);
+            let read = prov[task.src.index() * words..(task.src.index() + 1) * words].to_vec();
+            let d = task.dst.index();
+            let slot = &mut prov[d * words..(d + 1) * words];
+            match task.comm {
+                CommType::Recv => slot.copy_from_slice(&read),
+                CommType::Rrc => {
+                    for (a, b) in slot.iter_mut().zip(&read) {
+                        *a |= b;
+                    }
+                }
+            }
+            let li = local[t.index()] as usize;
+            slot[li / 64] |= 1u64 << (li % 64);
+        }
+
+        // Phase 2 — the surviving tasks, with RA004's step semantics
+        // (reads observe the pre-step state).
+        let mut i = 0;
+        while i < chunk_tasks.len() {
+            let step = orig.task(chunk_tasks[i]).step;
+            let mut j = i;
+            while j < chunk_tasks.len() && orig.task(chunk_tasks[j]).step == step {
+                j += 1;
+            }
+            let group: Vec<rescc_ir::TaskId> = chunk_tasks[i..j]
+                .iter()
+                .copied()
+                .filter(|t| !ctx.completed[t.index()])
+                .collect();
+            let reads: Vec<Vec<u64>> = group
+                .iter()
+                .map(|&t| {
+                    let r = orig.task(t).src.index();
+                    prov[r * words..(r + 1) * words].to_vec()
+                })
+                .collect();
+            for (&t, read) in group.iter().zip(&reads) {
+                let task = orig.task(t);
+                let d = task.dst.index();
+                let slot = &mut prov[d * words..(d + 1) * words];
+                match task.comm {
+                    CommType::Recv => slot.copy_from_slice(read),
+                    CommType::Rrc => {
+                        for (a, b) in slot.iter_mut().zip(read) {
+                            *a |= b;
+                        }
+                    }
+                }
+                let li = local[t.index()] as usize;
+                slot[li / 64] |= 1u64 << (li % 64);
+            }
+            i = j;
+        }
+
+        let mut useful = vec![0u64; words];
+        for r in 0..n_ranks {
+            let required = match input.spec.op() {
+                OpType::AllGather | OpType::AllReduce => true,
+                OpType::ReduceScatter => r as u32 == chunk,
+            };
+            if required {
+                for (u, s) in useful.iter_mut().zip(&prov[r * words..(r + 1) * words]) {
+                    *u |= s;
+                }
+            }
+        }
+
+        for &t in chunk_tasks {
+            if ctx.completed[t.index()] {
+                continue;
+            }
+            let li = local[t.index()] as usize;
+            if useful[li / 64] & (1u64 << (li % 64)) == 0 {
+                let task = orig.task(t);
+                let rid = residual_of[t.index()];
+                out.push(Diagnostic {
+                    code: LintCode::RA008,
+                    severity: Severity::Warn,
+                    message: format!(
+                        "dead transfer in residual: task t{rid} (original t{}, \
+                         {} -> {} chunk c{chunk}) never contributes to the \
+                         operator's postcondition once provenance is replayed from \
+                         the fault frontier — the resumed run moves its bytes for \
+                         nothing",
+                        t.0, task.src, task.dst
+                    ),
+                    site: Site {
+                        task: if rid == u32::MAX { None } else { Some(rid) },
+                        rank: Some(task.dst.0),
+                        step: Some(task.step.0),
+                        chunk: Some(chunk),
+                        ..Site::default()
+                    },
+                    path: Vec::new(),
+                });
+            }
+        }
+
+        for &t in chunk_tasks {
+            local[t.index()] = u32::MAX;
         }
     }
 }

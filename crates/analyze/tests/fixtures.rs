@@ -5,17 +5,25 @@
 //! defect at the layer the lint targets — a fabricated TB slot order for
 //! RA001, a racy spec for RA002, a degenerate schedule / tiny TB budget
 //! for RA003, a provenance-dead transfer for RA004, a health-masked
-//! topology for RA005. The assertions pin both the code *and* the absence
-//! of every other code, so a lint that starts over- or under-firing fails
-//! here before it reaches the seed sweep.
+//! topology for RA005, an unordered slot reuse for RA006, a zero-rate
+//! link for RA007, a frontier-dead residual transfer for RA008. The
+//! assertions pin both the code *and* the absence of every other code,
+//! so a lint that starts over- or under-firing fails here before it
+//! reaches the seed sweep. A final fixture pins the `--json` rendering
+//! to be byte-deterministic across independent analysis runs.
 
 use rescc_alloc::TbAllocation;
-use rescc_analyze::{analyze, AnalysisConfig, AnalysisInput, AnalysisReport, LintCode, Severity};
+use rescc_analyze::{
+    analyze, analyze_residual, AnalysisConfig, AnalysisInput, AnalysisReport, LintCode,
+    ResidualContext, Severity,
+};
 use rescc_ir::DepDag;
 use rescc_kernel::{ExecMode, KernelProgram, KernelSlot, LoopOrder, Primitive, TbProgram};
 use rescc_lang::{AlgoBuilder, AlgoSpec, CommType, OpType, TransferRec};
 use rescc_sched::{hpds, Schedule};
-use rescc_topology::{ChunkId, NicId, Rank, Step, Topology, TopologyHealth};
+use rescc_topology::{
+    ChunkId, ClusterSpec, FabricParams, NicId, Rank, Step, Topology, TopologyHealth,
+};
 
 fn full_stack(spec: &AlgoSpec, topo: &Topology) -> (DepDag, Schedule, TbAllocation, KernelProgram) {
     let dag = DepDag::build(spec, topo).expect("dag");
@@ -223,10 +231,14 @@ fn ra003_fixture_tb_budget_exceeded() {
 }
 
 /// RA004: a ring AllGather plus a transfer whose delivery is overwritten
-/// before anything reads it. Task A copies rank 0's (empty) chunk-0 slot
-/// into rank 1; task B overwrites the same slot one step later. A's
-/// contribution reaches no slot the postcondition reads — bytes moved for
-/// nothing — while B's survives to the end and stays clean.
+/// before anything reads it. Task A re-copies chunk 0 into rank 1's slot
+/// after the ring already delivered and forwarded it; task B overwrites
+/// the same slot one step later. A's contribution reaches no slot the
+/// postcondition reads — bytes moved for nothing — while B's survives to
+/// the end and stays clean. Both extras source from rank 2, whose
+/// chunk-0 slot was written by rank 1's own forward: that RAW edge
+/// orders the reuse after the previous write's only reader, so the
+/// overwrite chain is RA006-clean and isolates RA004.
 #[test]
 fn ra004_fixture_overwritten_transfer() {
     let topo = Topology::a100(1, 4);
@@ -234,7 +246,7 @@ fn ra004_fixture_overwritten_transfer() {
     let last = ring.max_step().0;
     let mut transfers = ring.transfers().to_vec();
     let extra = |step: u32| TransferRec {
-        src: Rank::new(0),
+        src: Rank::new(2),
         dst: Rank::new(1),
         step: Step::new(step),
         chunk: ChunkId::new(0),
@@ -290,6 +302,229 @@ fn ra005_fixture_plan_over_dead_nic() {
     for d in report.diagnostics() {
         assert_eq!(d.site.resource, Some(nic));
     }
+}
+
+/// RA006: a write→read→write triangle with the reuse unordered against
+/// the reader. Rank 0 seeds chunk 0 into ranks 1 and 3; rank 1 forwards
+/// it to rank 2 at step 1; rank 3 re-copies it into rank 1's slot at
+/// step 2. The two writes into rank 1's slot are WAW-ordered (RA002 is
+/// silent), but the reuse sources from rank 3 — not from the forward —
+/// so no edge and no TB slot order relates the reader t(1->2) to the
+/// reuse t(3->1): micro-batch pipelining can overwrite the slot while
+/// the forward is still reading it.
+#[test]
+fn ra006_fixture_unordered_slot_reuse() {
+    let topo = Topology::a100(1, 4);
+    let mut b = AlgoBuilder::new("reuse", OpType::AllGather, 4);
+    b.recv(0, 1, 0, 0); // w1: first write of rank1/c0
+    b.recv(0, 3, 0, 0); // seeds rank 3 so the reuse reads a live slot
+    b.recv(1, 2, 1, 0); // r: reader of w1's value
+    b.recv(3, 1, 2, 0); // w2: slot reuse, unordered with r
+    let spec = b.build().expect("spec");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let find = |src: u32, dst: u32, step: u32| -> u32 {
+        dag.tasks()
+            .iter()
+            .position(|t| t.src.0 == src && t.dst.0 == dst && t.step.0 == step)
+            .expect("fixture task") as u32
+    };
+    let (w1, r, w2) = (find(0, 1, 0), find(1, 2, 1), find(3, 1, 2));
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA006, Severity::Error);
+    assert_eq!(report.diagnostics().len(), 1);
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.path, vec![w1, r, w2], "counterexample is w1 -> r vs w2");
+    assert_eq!(d.site.rank, Some(1));
+    assert_eq!(d.site.chunk, Some(0));
+    assert_eq!(d.site.task, Some(w2), "the diagnostic anchors on the reuse");
+}
+
+/// RA006 counter-fixture: the same shape with the reuse sourcing from
+/// the *reader's* destination. The reuse then carries a RAW edge from
+/// the forward, ordering it after the read — clean.
+#[test]
+fn ra006_ordered_reuse_is_clean() {
+    let topo = Topology::a100(1, 4);
+    let mut b = AlgoBuilder::new("reuse-ok", OpType::AllGather, 4);
+    b.recv(0, 1, 0, 0);
+    b.recv(1, 2, 1, 0);
+    b.recv(2, 1, 2, 0); // reads rank2/c0, written by the forward
+    let spec = b.build().expect("spec");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert!(report.is_clean(), "unexpected: {}", report.render_human());
+}
+
+/// RA007: a transfer routed over an NVLink channel whose α–β–γ
+/// parameters deliver zero bandwidth (infinite β, zero per-TB rate) —
+/// the brownout-overlay shape the constructors forbid but a
+/// hand-assembled fabric can express. The windowed demand through that
+/// channel exceeds its capacity at every window length, so the plan is
+/// statically infeasible; the certificate must still be finite, priced
+/// off the healthy port resources.
+#[test]
+fn ra007_fixture_zero_bandwidth_link() {
+    let mut fabric = FabricParams::a100();
+    fabric.intra.beta_ns_per_byte = f64::INFINITY;
+    fabric.intra.tb_bw_bytes_per_ns = 0.0;
+    let topo = Topology::new(
+        "a100-1x2-deadchan",
+        ClusterSpec {
+            n_nodes: 1,
+            gpus_per_node: 2,
+            nics_per_node: 1,
+        },
+        fabric,
+    );
+    let mut b = AlgoBuilder::new("deadchan", OpType::AllGather, 2);
+    b.recv(0, 1, 0, 0);
+    let spec = b.build().expect("spec");
+    let (dag, schedule, alloc, program) = full_stack(&spec, &topo);
+
+    let report = run(
+        &spec,
+        &topo,
+        &dag,
+        &schedule,
+        &alloc,
+        &program,
+        &AnalysisConfig::default(),
+    );
+    assert_only(&report, LintCode::RA007, Severity::Error);
+    assert_eq!(
+        report.diagnostics().len(),
+        1,
+        "one dead resource, one error"
+    );
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.site.sub_pipeline, Some(0));
+    assert!(d.message.contains("deliverable bandwidth is zero"));
+
+    let cert = report.certificate().expect("certificate present");
+    assert!(
+        cert.alpha_chain_ns.is_finite() && cert.bottleneck_beta_ns_per_byte.is_finite(),
+        "certificate prices only deliverable links"
+    );
+    assert!(cert.lower_bound_ns(1 << 20).is_finite());
+}
+
+/// RA008 (the regression the old RA004 skip admitted): the ring-plus-dead
+/// plan from the RA004 fixture, resumed from a frontier where the whole
+/// ring completed and only the two extras survive. Replaying provenance
+/// from that frontier shows task A's delivery overwritten by B before
+/// any read — a dead transfer in the residual that pre-RA008
+/// `analyze_residual` (which skipped dead-transfer analysis entirely)
+/// silently admitted.
+#[test]
+fn ra008_fixture_residual_dead_transfer() {
+    let topo = Topology::a100(1, 4);
+    let ring = rescc_algos::ring_allgather(4);
+    let last = ring.max_step().0;
+    let mut transfers = ring.transfers().to_vec();
+    let extra = |step: u32| TransferRec {
+        src: Rank::new(2),
+        dst: Rank::new(1),
+        step: Step::new(step),
+        chunk: ChunkId::new(0),
+        comm: CommType::Recv,
+    };
+    transfers.push(extra(last + 1)); // task A — dead after the frontier
+    transfers.push(extra(last + 2)); // task B — overwrites A
+    let spec =
+        AlgoSpec::new("ring-plus-dead", OpType::AllGather, 4, transfers).expect("valid spec");
+    let orig_dag = DepDag::build(&spec, &topo).expect("dag");
+
+    // Fault frontier: every ring task completed, only the extras survive.
+    let keep: Vec<bool> = orig_dag.tasks().iter().map(|t| t.step.0 > last).collect();
+    assert_eq!(keep.iter().filter(|&&k| k).count(), 2);
+    let completed: Vec<bool> = keep.iter().map(|&k| !k).collect();
+    let (dag, orig_ids) = orig_dag.residual(&keep, &topo).expect("residual");
+
+    let schedule = hpds(&dag);
+    let alloc = TbAllocation::connection_based(&dag, &schedule, 1);
+    let program = KernelProgram::generate(
+        spec.name(),
+        &dag,
+        &alloc,
+        LoopOrder::SlotMajor,
+        ExecMode::DirectKernel,
+    );
+    let report = analyze_residual(
+        &AnalysisInput {
+            spec: &spec,
+            dag: &dag,
+            schedule: &schedule,
+            alloc: &alloc,
+            program: &program,
+            topo: &topo,
+        },
+        &AnalysisConfig::default(),
+        &ResidualContext {
+            orig_dag: &orig_dag,
+            orig_ids: &orig_ids,
+            completed: &completed,
+        },
+    );
+    assert_only(&report, LintCode::RA008, Severity::Warn);
+    assert_eq!(report.diagnostics().len(), 1, "only A is dead, B survives");
+    let site = &report.diagnostics()[0].site;
+    assert_eq!(site.step, Some(last + 1), "the dead task is A, not B");
+    assert_eq!(site.chunk, Some(0));
+}
+
+/// The `rescc-lint --json` schema promises byte-identical output for
+/// identical inputs (DESIGN.md §12). Two fully independent analysis runs
+/// — rebuilt stacks, fresh oracles — must render the same JSON, both for
+/// a dirty plan with counterexample paths and for a clean seed plan
+/// whose report is just the certificate.
+#[test]
+fn json_output_is_deterministic() {
+    let render = |spec: &AlgoSpec, topo: &Topology| -> String {
+        let (dag, schedule, alloc, program) = full_stack(spec, topo);
+        run(
+            spec,
+            topo,
+            &dag,
+            &schedule,
+            &alloc,
+            &program,
+            &AnalysisConfig::default(),
+        )
+        .to_json()
+    };
+
+    let topo = Topology::a100(1, 4);
+    let mut b = AlgoBuilder::new("reuse", OpType::AllGather, 4);
+    b.recv(0, 1, 0, 0);
+    b.recv(0, 3, 0, 0);
+    b.recv(1, 2, 1, 0);
+    b.recv(3, 1, 2, 0);
+    let dirty = b.build().expect("spec");
+    assert_eq!(render(&dirty, &topo), render(&dirty, &topo));
+
+    let clean = rescc_algos::ring_allgather(4);
+    let json = render(&clean, &topo);
+    assert_eq!(json, render(&clean, &topo));
+    assert!(json.contains("\"certificate\""));
 }
 
 /// The fixtures above stay minimal *because* the seed corpus is clean:

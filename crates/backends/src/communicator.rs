@@ -356,6 +356,19 @@ impl Communicator {
                     stats.dead_resources = self.health.dead().iter().map(|r| r.0).collect();
                     stats.plan_fingerprint = fingerprint;
                     stats.lint_diagnostics = plan.diagnostics.diagnostics().len() as u32;
+                    // Certificate cross-check, fresh fault-free runs only:
+                    // a resumed attempt skips completed work and a
+                    // degraded/faulted one runs against parameters the
+                    // certificate was not computed for, so neither bounds
+                    // from below.
+                    let certificate_undercut = (residual.is_none()
+                        && self.faults.is_empty()
+                        && self.health.is_empty()
+                        && elapsed == 0.0)
+                        .then(|| {
+                            plan.makespan_floor_ns(buffer_bytes, chunk)
+                                .is_some_and(|floor| sim.undercuts_floor(floor))
+                        });
                     return Ok(RunReport {
                         backend: "resccl".to_string(),
                         algo: spec.name().to_string(),
@@ -365,6 +378,7 @@ impl Communicator {
                         sim,
                         cache: Some(self.cache.stats()),
                         recovery: engaged.then_some(stats),
+                        certificate_undercut,
                         obs,
                     });
                 }

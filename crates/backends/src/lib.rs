@@ -137,6 +137,14 @@ pub struct RunReport {
     /// [`Communicator`] with faults or a deadline engaged; `None` for
     /// plain healthy-fabric runs.
     pub recovery: Option<RecoveryStats>,
+    /// Whether the simulated completion undercut the plan's certified
+    /// α–β–γ makespan lower bound — `Some(true)` flags a cost-model/engine
+    /// disagreement that the bench harness escalates to a warning.
+    /// Populated only for fresh, fault-free, non-resumed [`Communicator`]
+    /// dispatches (the certificate is computed against the healthy plan's
+    /// routes and full task set); `None` everywhere else, including the
+    /// raw [`Backend`] implementations, which bypass the sanitize phase.
+    pub certificate_undercut: Option<bool>,
     /// Cross-layer spans and counters (compiler phases, cache traffic,
     /// watchdog activity) when the call went through the
     /// [`Communicator`] with
@@ -217,6 +225,7 @@ fn finish(
         sim,
         cache: None,
         recovery: None,
+        certificate_undercut: None,
         obs: None,
     }
 }

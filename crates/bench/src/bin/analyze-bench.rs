@@ -1,0 +1,6 @@
+//! Standalone runner for the static-analysis cost experiment
+//! (`BENCH_analyze.json`).
+
+fn main() {
+    rescc_bench::experiments::analyze::run();
+}

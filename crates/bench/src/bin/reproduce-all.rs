@@ -24,6 +24,7 @@ fn main() {
     ex::chaos::run();
     ex::simbench::run();
     ex::observability::run();
+    ex::analyze::run();
     println!(
         "\nreproduce-all finished in {:.1}s",
         t0.elapsed().as_secs_f64()

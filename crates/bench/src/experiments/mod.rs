@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod analytic;
+pub mod analyze;
 pub mod chaos;
 pub mod figure10;
 pub mod figure11;

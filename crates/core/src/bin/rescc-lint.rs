@@ -1,4 +1,4 @@
-//! `rescc-lint` — run the cross-phase static analysis (lints RA001–RA005)
+//! `rescc-lint` — run the cross-phase static analysis (lints RA001–RA008)
 //! over compiled plans, without executing anything.
 //!
 //! ```text
@@ -12,6 +12,8 @@
 //!   --scheduler <hpds|rr>                                (default hpds)
 //!   --tb-budget <N>    per-rank TB budget for RA003      (default 64)
 //!   --json             machine-readable output (stable schema)
+//!   --explain          expand counterexample paths and the α–β–γ cost
+//!                      certificate under each human-readable report
 //!   --deny-warnings    exit nonzero on warnings too
 //! ```
 //!
@@ -19,18 +21,21 @@
 //! finding (or any finding at all under `--deny-warnings`), or when a plan
 //! fails to compile.
 //!
-//! JSON schema (append-only; one entry per linted plan):
+//! JSON schema (append-only; one entry per linted plan; the `report`
+//! object — including per-diagnostic `path` arrays and the plan's
+//! `certificate` — is documented in DESIGN.md §12):
 //!
 //! ```json
 //! {"plans": [{"algo": "hm-ar-2x8", "topology": "a100-2x8",
-//!             "report": {"diagnostics": [...], "errors": 0, "warnings": 0}}],
+//!             "report": {"diagnostics": [...], "errors": 0, "warnings": 0,
+//!                        "certificate": {...}}}],
 //!  "errors": 0, "warnings": 0}
 //! ```
 //!
 //! Compile failures appear as `{"algo": ..., "topology": ...,
 //! "compile_error": "..."}` entries and count as errors.
 
-use rescc_core::{Compiler, LintGate, SchedulerChoice};
+use rescc_core::{CompiledPlan, Compiler, LintGate, SchedulerChoice};
 use rescc_lang::AlgoSpec;
 use rescc_topology::Topology;
 use std::process::ExitCode;
@@ -44,6 +49,7 @@ struct Args {
     scheduler: SchedulerChoice,
     tb_budget: u32,
     json: bool,
+    explain: bool,
     deny_warnings: bool,
 }
 
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         scheduler: SchedulerChoice::Hpds,
         tb_budget: 64,
         json: false,
+        explain: false,
         deny_warnings: false,
     };
     let mut it = std::env::args().skip(1);
@@ -90,12 +97,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--tb-budget: {e}"))?
             }
             "--json" => args.json = true,
+            "--explain" => args.explain = true,
             "--deny-warnings" => args.deny_warnings = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: rescc-lint <algorithm.rcl> | --all  [--nodes N] [--gpus G] \
                      [--fabric a100|v100] [--scheduler hpds|rr] [--tb-budget N] \
-                     [--json] [--deny-warnings]"
+                     [--json] [--explain] [--deny-warnings]"
                         .into(),
                 )
             }
@@ -136,24 +144,26 @@ fn seed_suite(nodes: u32, g: u32) -> Vec<AlgoSpec> {
     suite
 }
 
-/// One linted plan, ready for rendering.
+/// One linted plan, ready for rendering. The whole plan is kept (not just
+/// its report) so `--explain` can resolve counterexample path nodes back
+/// to their task tuples.
 struct Outcome {
     algo: String,
     topology: String,
-    result: Result<rescc_analyze::AnalysisReport, String>,
+    result: Result<Box<CompiledPlan>, String>,
 }
 
 impl Outcome {
     fn n_errors(&self) -> usize {
         match &self.result {
-            Ok(report) => report.n_errors(),
+            Ok(plan) => plan.diagnostics.n_errors(),
             Err(_) => 1,
         }
     }
 
     fn n_warnings(&self) -> usize {
         match &self.result {
-            Ok(report) => report.n_warnings(),
+            Ok(plan) => plan.diagnostics.n_warnings(),
             Err(_) => 0,
         }
     }
@@ -165,7 +175,7 @@ fn lint_spec(compiler: &Compiler, spec: &AlgoSpec, topo: &Topology) -> Outcome {
         topology: topo.name().to_string(),
         result: compiler
             .compile_spec(spec, topo)
-            .map(|plan| plan.diagnostics)
+            .map(Box::new)
             .map_err(|e| e.to_string()),
     }
 }
@@ -181,7 +191,7 @@ fn render_json(outcomes: &[Outcome]) -> String {
             o.algo, o.topology
         ));
         match &o.result {
-            Ok(report) => out.push_str(&format!("\"report\": {}}}", report.to_json())),
+            Ok(plan) => out.push_str(&format!("\"report\": {}}}", plan.diagnostics.to_json())),
             Err(e) => out.push_str(&format!(
                 "\"compile_error\": \"{}\"}}",
                 e.replace('\\', "\\\\")
@@ -195,6 +205,41 @@ fn render_json(outcomes: &[Outcome]) -> String {
     out.push_str(&format!(
         "], \"errors\": {errors}, \"warnings\": {warnings}}}"
     ));
+    out
+}
+
+/// `--explain`: expand each diagnostic's counterexample path into the
+/// concrete task tuples behind the node ids, and render the plan's
+/// certified makespan floor.
+fn render_explain(plan: &CompiledPlan) -> String {
+    let mut out = String::new();
+    for d in plan.diagnostics.diagnostics() {
+        if d.path.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("  {} counterexample path:\n", d.code.as_str()));
+        for &t in &d.path {
+            if (t as usize) < plan.dag.len() {
+                let task = plan.dag.task(rescc_ir::TaskId::new(t));
+                out.push_str(&format!(
+                    "    t{t}: {} -> {} chunk c{} step {} ({:?})\n",
+                    task.src, task.dst, task.chunk.0, task.step.0, task.comm
+                ));
+            } else {
+                out.push_str(&format!("    t{t}: (outside this plan's task space)\n"));
+            }
+        }
+    }
+    if let Some(c) = plan.diagnostics.certificate() {
+        out.push_str(&format!(
+            "  certified makespan floor: max(α-chain {:.0} ns, res{} drain: \
+             {} task(s) x chunk_bytes x {:.4} ns/B)\n",
+            c.alpha_chain_ns,
+            c.bottleneck_resource,
+            c.bottleneck_tasks,
+            c.bottleneck_beta_ns_per_byte
+        ));
+    }
     out
 }
 
@@ -236,7 +281,7 @@ fn main() -> ExitCode {
         };
         let result = compiler
             .compile_source(&source, &topo)
-            .map(|plan| plan.diagnostics)
+            .map(Box::new)
             .map_err(|e| e.to_string());
         outcomes.push(Outcome {
             algo: path.clone(),
@@ -261,12 +306,18 @@ fn main() -> ExitCode {
     } else {
         for o in &outcomes {
             match &o.result {
-                Ok(report) if report.is_clean() => {
-                    println!("{} on {}: clean", o.algo, o.topology)
+                Ok(plan) if plan.diagnostics.is_clean() => {
+                    println!("{} on {}: clean", o.algo, o.topology);
+                    if args.explain {
+                        print!("{}", render_explain(plan));
+                    }
                 }
-                Ok(report) => {
+                Ok(plan) => {
                     println!("{} on {}:", o.algo, o.topology);
-                    print!("{}", report.render_human());
+                    print!("{}", plan.diagnostics.render_human());
+                    if args.explain {
+                        print!("{}", render_explain(plan));
+                    }
                 }
                 Err(e) => println!("{} on {}: compile error: {e}", o.algo, o.topology),
             }

@@ -354,14 +354,16 @@ impl Compiler {
     ///    DAG.
     ///
     /// The sanitize phase re-runs in **every** non-identity case (subject
-    /// to [`LintGate::Off`]): splicing must not skip the RA001–RA005 lints,
-    /// or a spliced plan routing over a masked resource would sail through
+    /// to [`LintGate::Off`]): splicing must not skip the lints, or a
+    /// spliced plan routing over a masked resource would sail through
     /// where a full compile would be denied. On the splice path the re-run
     /// is itself incremental ([`rescc_analyze::analyze_rerouted`]): the
     /// DAG adjacency, task tuples, schedule, and program are identical to
     /// the cached plan's, so the routing-insensitive lints (RA001, RA002,
-    /// RA004) splice their cached diagnostics through and only RA003 and
-    /// RA005 — the two that read routes — re-run.
+    /// RA004, RA006) splice their cached diagnostics through and only the
+    /// route-reading ones — RA003 on the dirtied sub-pipelines, RA005,
+    /// and RA007 (whose α–β–γ certificate depends on per-route
+    /// parameters) — re-run.
     ///
     /// Phase counters reflect what actually ran: `scheduling`/`lowering`
     /// bump only on the slow path, `sanitize` on every non-identity call
@@ -541,6 +543,20 @@ impl CompiledPlan {
         emit_all(&self.program)
     }
 
+    /// The α–β–γ makespan lower bound certified by the sanitize phase for
+    /// a run over `buffer_bytes` at `chunk_bytes` per invocation:
+    /// `max(critical-path α-chain, bottleneck-link bytes·β)`. No run of
+    /// this plan — degraded, jittered, or contended — can legitimately
+    /// finish faster; a [`SimReport`] undercutting it indicates a cost
+    /// model or engine bug. `None` when the lint gate was off (the
+    /// sanitize phase never ran, so nothing was certified).
+    pub fn makespan_floor_ns(&self, buffer_bytes: u64, chunk_bytes: u64) -> Option<f64> {
+        let mb = MicroBatchPlan::plan(buffer_bytes, self.n_chunks, chunk_bytes);
+        self.diagnostics
+            .certificate()
+            .map(|c| c.lower_bound_ns(mb.chunk_total_bytes()))
+    }
+
     /// Total TBs the plan launches.
     pub fn total_tbs(&self) -> usize {
         self.alloc.total_tbs()
@@ -653,6 +669,33 @@ mod tests {
         );
         let delta = phase_counters::snapshot().since(&before);
         assert_eq!(delta.sanitize, 1);
+    }
+
+    #[test]
+    fn certificate_floor_is_never_undercut_by_the_engine() {
+        use rescc_algos::{dbtree_allreduce, ring_allgather};
+        let buffer: u64 = 16 << 20;
+        let chunk: u64 = 1 << 20;
+        let cases: Vec<(rescc_lang::AlgoSpec, Topology)> = vec![
+            (hm_allreduce(2, 4), Topology::a100(2, 4)),
+            (ring_allgather(8), Topology::a100(1, 8)),
+            (dbtree_allreduce(8), Topology::a100(2, 4)),
+        ];
+        for (spec, topo) in cases {
+            let plan = Compiler::new().compile_spec(&spec, &topo).unwrap();
+            let floor = plan
+                .makespan_floor_ns(buffer, chunk)
+                .expect("lint gate on => certificate present");
+            assert!(floor > 0.0, "{}: degenerate floor {floor}", spec.name());
+            let rep = plan.run(buffer, chunk).unwrap();
+            assert!(
+                !rep.undercuts_floor(floor),
+                "{}: run finished at {} ns, under its certified floor {} ns",
+                spec.name(),
+                rep.completion_ns,
+                floor
+            );
+        }
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!    surviving chains at the frontier.
 //! 2. **Recompile** — scheduling and lowering re-run on the residual DAG
 //!    (the pruned shape changes priorities and TB shapes), and the
-//!    sanitize lints re-run via [`rescc_analyze::analyze_residual`]
-//!    (RA004 excepted — the completed prefix makes dead-transfer replay
-//!    meaningless).
+//!    sanitize lints re-run via [`rescc_analyze::analyze_residual`].
+//!    Dead-transfer coverage comes from RA008, which replays the
+//!    completed prefix from the fault frontier before judging the
+//!    surviving transfers (plain RA004 would mis-replay a plan whose
+//!    chunk histories start mid-flight).
 //! 3. **Resume state** — a [`ResumeState`] carries the still-incomplete
 //!    tasks' finished micro-batches plus the ordered buffer replay that
 //!    reconstructs everything the aborted run already moved.
@@ -24,7 +26,7 @@
 
 use crate::{phase_counters, CompiledPlan, Compiler, LintGate, PhaseTimings, SchedulerChoice};
 use rescc_alloc::TbAllocation;
-use rescc_analyze::{analyze_residual, AnalysisInput, AnalysisReport};
+use rescc_analyze::{analyze_residual, AnalysisInput, AnalysisReport, ResidualContext};
 use rescc_ir::{DepDag, TaskId};
 use rescc_kernel::{ExecMode, KernelProgram, LoopOrder};
 use rescc_lang::CommType;
@@ -180,6 +182,7 @@ impl Compiler {
         let diagnostics = if self.lint_gate == LintGate::Off {
             AnalysisReport::default()
         } else {
+            let completed: Vec<bool> = keep.iter().map(|&k| !k).collect();
             let report = analyze_residual(
                 &AnalysisInput {
                     spec: &cached.spec,
@@ -190,6 +193,11 @@ impl Compiler {
                     topo: &cached.topo,
                 },
                 &self.lint_config,
+                &ResidualContext {
+                    orig_dag: &cached.dag,
+                    orig_ids: &orig_ids,
+                    completed: &completed,
+                },
             );
             phase_counters::bump(&phase_counters::SANITIZE);
             if self.lint_gate == LintGate::Deny && report.has_errors() {

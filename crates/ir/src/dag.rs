@@ -24,7 +24,9 @@
 use crate::error::{IrError, Result};
 use crate::task::{Task, TaskId};
 use rescc_lang::AlgoSpec;
-use rescc_topology::{ChunkId, PathKind, Rank, ResourceId, Topology, MAX_PATH_RESOURCES};
+use rescc_topology::{
+    ChunkId, LinkParams, PathKind, Rank, ResourceId, Topology, MAX_PATH_RESOURCES,
+};
 use std::collections::HashMap;
 
 /// Compressed sparse rows of [`TaskId`]s: one flat item arena plus row
@@ -98,6 +100,10 @@ pub struct DepDag {
     /// many tasks can drive it before a communication dependency (Eq. 1
     /// contention) arises — the resource's `saturation_tbs`.
     conflict_limit: Vec<u32>,
+    /// Full α–β–γ parameters of each conflict resource (indexed densely),
+    /// cached so cost-side analyses read them without re-deriving the
+    /// resource kind from the topology per task.
+    link_params: Vec<LinkParams>,
     n_chunks: u32,
 }
 
@@ -192,7 +198,7 @@ impl DepDag {
             }
         }
 
-        let (resource_ids, conflict_dense, by_resource, conflict_limit) =
+        let (resource_ids, conflict_dense, by_resource, conflict_limit, link_params) =
             index_resources(&tasks, topo)?;
 
         let dag = Self {
@@ -204,6 +210,7 @@ impl DepDag {
             conflict_dense,
             by_resource,
             conflict_limit,
+            link_params,
             n_chunks,
         };
         // Steps strictly increase along edges, so cycles are impossible by
@@ -236,11 +243,12 @@ impl DepDag {
             }
         }
         if !dirty.is_empty() {
-            let (ids, dense, by_res, limits) = index_resources(&patched.tasks, topo)?;
+            let (ids, dense, by_res, limits, params) = index_resources(&patched.tasks, topo)?;
             patched.resource_ids = ids;
             patched.conflict_dense = dense;
             patched.by_resource = by_res;
             patched.conflict_limit = limits;
+            patched.link_params = params;
         }
         Ok((patched, dirty))
     }
@@ -305,7 +313,7 @@ impl DepDag {
         let by_chunk: Vec<Vec<TaskId>> = (0..self.n_chunks as usize)
             .map(|c| remap(self.by_chunk.row(c)))
             .collect();
-        let (resource_ids, conflict_dense, by_resource, conflict_limit) =
+        let (resource_ids, conflict_dense, by_resource, conflict_limit, link_params) =
             index_resources(&tasks, topo)?;
         let dag = Self {
             tasks,
@@ -316,6 +324,7 @@ impl DepDag {
             conflict_dense,
             by_resource,
             conflict_limit,
+            link_params,
             n_chunks: self.n_chunks,
         };
         dag.topo_order()?;
@@ -418,6 +427,11 @@ impl DepDag {
         self.conflict_limit[dense as usize]
     }
 
+    /// The cached α–β–γ parameters of a conflict resource, by dense index.
+    pub fn resource_params_at(&self, dense: u32) -> &LinkParams {
+        &self.link_params[dense as usize]
+    }
+
     /// A topological order of the data-dependency DAG (Kahn's algorithm).
     /// Returns an error when a cycle exists.
     pub fn topo_order(&self) -> Result<Vec<TaskId>> {
@@ -489,7 +503,13 @@ impl DepDag {
 fn index_resources(
     tasks: &[Task],
     topo: &Topology,
-) -> Result<(Vec<ResourceId>, Vec<DenseResSet>, Csr, Vec<u32>)> {
+) -> Result<(
+    Vec<ResourceId>,
+    Vec<DenseResSet>,
+    Csr,
+    Vec<u32>,
+    Vec<LinkParams>,
+)> {
     let mut resource_ids: Vec<ResourceId> = tasks
         .iter()
         .flat_map(|t| t.conflict.iter())
@@ -516,17 +536,20 @@ fn index_resources(
     }
 
     let mut conflict_limit = Vec::with_capacity(resource_ids.len());
+    let mut link_params = Vec::with_capacity(resource_ids.len());
     for &r in &resource_ids {
         let params = topo
             .resource_params(r)
             .map_err(|e| IrError::new(e.to_string()))?;
         conflict_limit.push(params.saturation_tbs.max(1));
+        link_params.push(params);
     }
     Ok((
         resource_ids,
         conflict_dense,
         Csr::from_rows(&rows),
         conflict_limit,
+        link_params,
     ))
 }
 

@@ -122,6 +122,17 @@ impl SimReport {
         self.tb_stats.iter().filter(|t| t.n_invocations > 0).count()
     }
 
+    /// Whether this run finished faster than a certified makespan lower
+    /// bound (the α–β–γ cost certificate the sanitize phase attaches to
+    /// every compiled plan). A fresh fault-free run undercutting its
+    /// certificate means the cost model and the engine disagree — one of
+    /// them is wrong. The relative epsilon absorbs the f64 accumulation
+    /// slack between the certificate's closed form and the engine's
+    /// event-by-event arithmetic.
+    pub fn undercuts_floor(&self, floor_ns: f64) -> bool {
+        floor_ns.is_finite() && self.completion_ns < floor_ns * (1.0 - 1e-9)
+    }
+
     /// TBs that actually occupied an SM for a non-zero window. Under
     /// flexible (early) release a TB slot the plan never launches has
     /// `occupancy_ns == 0` and `n_invocations == 0` — it held no SM and

@@ -59,6 +59,9 @@ fn resccl_cached_run(
         buffer_bytes,
         total_tbs: plan.alloc.total_tbs(),
         max_rank_tbs: plan.alloc.max_rank_tbs(),
+        certificate_undercut: plan
+            .makespan_floor_ns(buffer_bytes, chunk_bytes)
+            .map(|floor| sim.undercuts_floor(floor)),
         sim,
         cache: Some(cache.stats()),
         recovery: None,
