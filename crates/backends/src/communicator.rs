@@ -23,6 +23,7 @@ use rescc_obs::ObsStats;
 use rescc_sim::{FaultFrontier, FaultTimeline, SimConfig, SimError, SimResult};
 use rescc_topology::{ResourceId, Topology, TopologyHealth};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Watchdog/retry knobs for collectives on a faulty fabric.
 ///
@@ -74,10 +75,16 @@ impl FaultPolicy {
 /// repeat is a fingerprint lookup — none of the compile phases run again
 /// (observable via [`rescc_core::phase_counters`]). Each [`RunReport`]
 /// carries the cache counters at the time of the call.
+///
+/// The cache is held through an `Arc`: by default each communicator owns a
+/// private one (today's behavior), and
+/// [`with_shared_cache`](Self::with_shared_cache) opts a group of
+/// communicators — across threads — into one shared plan service, so a
+/// plan compiled by any tenant serves all of them.
 pub struct Communicator {
     topo: Topology,
     compiler: Compiler,
-    cache: PlanCache,
+    cache: Arc<PlanCache>,
     chunk_bytes: u64,
     /// Cached specs per (op, small) bucket — algorithm construction is
     /// cheap but deterministic reuse keeps behaviour predictable.
@@ -104,7 +111,7 @@ impl Communicator {
         Self {
             topo,
             compiler: Compiler::new(),
-            cache: PlanCache::new(),
+            cache: Arc::new(PlanCache::new()),
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             specs: HashMap::new(),
             faults: FaultTimeline::new(),
@@ -179,7 +186,26 @@ impl Communicator {
         &self.topo
     }
 
-    /// Plan-cache counters (hits, misses, resident entries).
+    /// Share a plan cache with other communicators (multi-tenant
+    /// dispatch). All tenants must agree on compiler configuration for
+    /// sharing to pay off — the fingerprint covers compiler options, so a
+    /// mismatched tenant simply misses into its own entries. Concurrent
+    /// tenants are safe: warm dispatches take only a shared per-shard
+    /// lock, and cold dispatches of the same fingerprint are coalesced
+    /// into one compile.
+    pub fn with_shared_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The plan cache this communicator dispatches through — clone the
+    /// `Arc` to share it with another tenant.
+    pub fn cache_handle(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Plan-cache counters (hits, misses, resident entries). Under a
+    /// shared cache these are service-wide, not per-tenant.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -275,30 +301,18 @@ impl Communicator {
         let mut acc: Option<FaultFrontier> = None;
         loop {
             let topo = self.topo.clone().with_health(self.health.clone());
-            let plan = self
+            // The traced dispatch hands back the CacheEvent for *this*
+            // call, so attribution is exact even when the cache is shared
+            // across threads (reading `journal().last()` here used to
+            // attribute whichever tenant dispatched most recently — and
+            // panicked outright with a zero-capacity journal).
+            let (plan, ev) = self
                 .cache
-                .get_or_compile(&self.compiler, &spec, &topo, &mb)?;
-            let fingerprint = plan_fingerprint(&self.compiler, &spec, &topo, &mb);
+                .get_or_compile_traced(&self.compiler, &spec, &topo, &mb)?;
+            let fingerprint = ev.fingerprint;
             if let Some(o) = obs.as_mut() {
-                // The dispatch above journaled exactly one cache event
-                // (the communicator issues collectives serially).
-                let ev = *self.cache.journal().last().expect("dispatch was journaled");
-                o.spans.push(rescc_obs::Span::new(
-                    "cache",
-                    format!(
-                        "{} {:016x}",
-                        if ev.hit { "hit" } else { "miss" },
-                        ev.fingerprint
-                    ),
-                    rescc_obs::SpanCategory::Cache,
-                    rescc_obs::TimeDomain::Wall,
-                    compile_at,
-                    0.0,
-                ));
-                if ev.hit {
-                    o.cache_hits += 1;
-                } else {
-                    o.cache_misses += 1;
+                o.add_cache_event(&ev, compile_at);
+                if !ev.is_hit() {
                     compile_at = o.add_compile(&plan.timings, "compiler", compile_at);
                 }
             }

@@ -7,9 +7,9 @@
 //! test's compile would land between two snapshots.
 
 use rescc_backends::Communicator;
-use rescc_core::phase_counters;
+use rescc_core::{phase_counters, PlanCache};
 use rescc_topology::Topology;
-use std::sync::Mutex;
+use std::sync::{Arc, Barrier, Mutex};
 
 static COUNTERS: Mutex<()> = Mutex::new(());
 
@@ -48,6 +48,97 @@ fn distinct_configurations_miss_repeats_hit() {
     let stats = rep.cache.unwrap();
     assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
     assert_eq!(comm.cache_stats(), stats);
+}
+
+/// Multi-tenant dispatch: a plan compiled by one communicator serves
+/// every other tenant of the shared cache, with no further compile.
+#[test]
+fn shared_cache_serves_across_communicators() {
+    let _guard = COUNTERS.lock().unwrap();
+    let service = Arc::new(PlanCache::new());
+    let mut a = Communicator::new(Topology::a100(2, 4)).with_shared_cache(Arc::clone(&service));
+    let mut b = Communicator::new(Topology::a100(2, 4)).with_shared_cache(Arc::clone(&service));
+    let cold = a.all_reduce(64 * MB).unwrap();
+
+    let before = phase_counters::snapshot();
+    let warm = b.all_reduce(64 * MB).unwrap();
+    let after = phase_counters::snapshot();
+    assert_eq!(
+        after.since(&before),
+        phase_counters::PhaseCounts::default(),
+        "tenant B must be served by tenant A's compile"
+    );
+    assert_eq!(cold.sim, warm.sim);
+    let stats = service.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    assert_eq!(a.cache_stats(), b.cache_stats());
+}
+
+/// Regression (pre-PR panic): with a zero-capacity journal, the
+/// observability path used to read `journal().last().expect(...)` and
+/// die. Attribution now rides on the event returned by the dispatch
+/// itself, so an unjournaled cache still observes correctly.
+#[test]
+fn zero_capacity_journal_with_observability_does_not_panic() {
+    let _guard = COUNTERS.lock().unwrap();
+    let service = Arc::new(PlanCache::with_journal_capacity(0));
+    let mut comm = Communicator::new(Topology::a100(2, 4))
+        .with_shared_cache(Arc::clone(&service))
+        .with_observability();
+    let cold = comm.all_reduce(64 * MB).unwrap();
+    let warm = comm.all_reduce(64 * MB).unwrap();
+    let (cold_obs, warm_obs) = (cold.obs.unwrap(), warm.obs.unwrap());
+    assert_eq!((cold_obs.cache_hits, cold_obs.cache_misses), (0, 1));
+    assert_eq!((warm_obs.cache_hits, warm_obs.cache_misses), (1, 0));
+    assert_eq!(service.journal_len(), 0);
+    assert_eq!(service.dropped_events(), 2);
+}
+
+/// Regression (pre-PR misattribution): under a shared cache, each
+/// tenant's observability must report *its own* dispatch outcome —
+/// reading the shared journal's tail reports whichever tenant dispatched
+/// last. Two threads race one configuration: together they must observe
+/// exactly one miss (the single compile) and one hit/coalesced serve.
+#[test]
+fn concurrent_tenants_attribute_their_own_dispatch() {
+    let _guard = COUNTERS.lock().unwrap();
+    let service = Arc::new(PlanCache::new());
+    let start = Barrier::new(2);
+    let before = phase_counters::snapshot();
+    let reports: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let start = &start;
+                s.spawn(move || {
+                    let mut comm = Communicator::new(Topology::a100(2, 4))
+                        .with_shared_cache(service)
+                        .with_observability();
+                    start.wait();
+                    comm.all_reduce(64 * MB).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ran = phase_counters::snapshot().since(&before);
+    assert_eq!(
+        (ran.scheduling, ran.lowering),
+        (1, 1),
+        "racing tenants must share one compile: {ran:?}"
+    );
+    let obs: Vec<_> = reports.into_iter().map(|r| r.obs.unwrap()).collect();
+    for o in &obs {
+        assert_eq!(
+            o.cache_hits + o.cache_misses,
+            1,
+            "each tenant observes exactly its own dispatch"
+        );
+    }
+    let misses: u64 = obs.iter().map(|o| o.cache_misses).sum();
+    let hits: u64 = obs.iter().map(|o| o.cache_hits).sum();
+    assert_eq!((misses, hits), (1, 1));
+    assert_eq!(service.stats().misses, 1);
 }
 
 #[test]

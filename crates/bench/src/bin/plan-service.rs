@@ -1,0 +1,7 @@
+//! Concurrent plan-service benchmark: hit-path scaling vs the old
+//! single-mutex cache, mixed hot/cold traffic under a byte budget, and
+//! singleflight dedup races. Writes `BENCH_service.json`.
+
+fn main() {
+    rescc_bench::experiments::service::run();
+}

@@ -23,6 +23,7 @@ fn main() {
     ex::recovery::run();
     ex::chaos::run();
     ex::simbench::run();
+    ex::service::run();
     ex::observability::run();
     ex::analyze::run();
     println!(

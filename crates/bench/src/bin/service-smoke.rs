@@ -1,0 +1,8 @@
+//! CI gate for the plan service: asserts singleflight dedup (exactly one
+//! compile per racing round) always, and hit-path scaling >1.5x from
+//! 1→4 threads when the runner has ≥4 cores.
+
+fn main() {
+    rescc_bench::experiments::service::smoke();
+    println!("service-smoke: all gates passed");
+}

@@ -17,6 +17,7 @@ pub mod figure8;
 pub mod figure9;
 pub mod observability;
 pub mod recovery;
+pub mod service;
 pub mod simbench;
 pub mod table1;
 pub mod table3;

@@ -36,7 +36,10 @@
 mod cache;
 mod residual;
 
-pub use cache::{plan_fingerprint, CacheEvent, CacheStats, PlanCache, DEFAULT_JOURNAL_CAPACITY};
+pub use cache::{
+    plan_cost_bytes, plan_fingerprint, CacheEvent, CacheEventKind, CacheStats, PlanCache,
+    SingleMutexPlanCache, DEFAULT_JOURNAL_CAPACITY, SHARD_COUNT,
+};
 pub use residual::ResidualPlan;
 
 use rescc_alloc::TbAllocation;

@@ -152,6 +152,11 @@ pub struct ObsStats {
     pub cache_hits: u64,
     /// Plan-cache misses (compiles) observed during this run.
     pub cache_misses: u64,
+    /// The subset of [`cache_hits`](Self::cache_hits) served by waiting on
+    /// another thread's in-flight compile of the same fingerprint
+    /// (singleflight coalescing in a shared plan cache).
+    #[serde(default)]
+    pub cache_coalesced: u64,
     /// Watchdog retry attempts (excludes the first attempt).
     pub retries: u64,
     /// Watchdog mask+recompile cycles after permanent resource loss.
@@ -213,6 +218,40 @@ impl ObsStats {
             at += ns;
         }
         at
+    }
+
+    /// Record one plan-cache dispatch outcome: bumps the hit/miss/
+    /// coalesced counters by event kind and appends a zero-width
+    /// wall-time cache span at `at_ns`. This is the attribution path for
+    /// dispatchers — the event comes from
+    /// `PlanCache::get_or_compile_traced`, which hands each caller the
+    /// event for *its own* dispatch (reading the shared journal's tail is
+    /// wrong the moment two tenants share a cache).
+    pub fn add_cache_event(&mut self, ev: &rescc_core::CacheEvent, at_ns: f64) {
+        use rescc_core::CacheEventKind;
+        let label = match ev.kind {
+            CacheEventKind::Hit => "hit",
+            CacheEventKind::Miss => "miss",
+            CacheEventKind::Coalesced => "coalesced",
+            CacheEventKind::Insert => "insert",
+        };
+        match ev.kind {
+            CacheEventKind::Hit => self.cache_hits += 1,
+            CacheEventKind::Miss => self.cache_misses += 1,
+            CacheEventKind::Coalesced => {
+                self.cache_hits += 1;
+                self.cache_coalesced += 1;
+            }
+            CacheEventKind::Insert => {}
+        }
+        self.spans.push(Span::new(
+            "cache",
+            format!("{label} {:016x}", ev.fingerprint),
+            SpanCategory::Cache,
+            TimeDomain::Wall,
+            at_ns,
+            0.0,
+        ));
     }
 
     /// Record a watchdog retry attempt as a sim-time recovery span.
@@ -313,6 +352,7 @@ impl ObsStats {
         self.sanitize_ns += other.sanitize_ns;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_coalesced += other.cache_coalesced;
         self.retries += other.retries;
         self.recompiles += other.recompiles;
         self.delta_recompiles += other.delta_recompiles;
